@@ -1,0 +1,340 @@
+//! The 2-D structured SH grid and its wave-equation implementation.
+
+use quake_fem::quad4::scalar_quad_stiffness;
+use quake_solver::wave::ScalarWaveEq;
+
+/// Configuration of the antiplane solver. `x` is horizontal distance,
+/// `z` is depth (down positive); the free surface is `z = 0`.
+#[derive(Clone, Debug)]
+pub struct ShConfig {
+    /// Elements along x and z.
+    pub nx: usize,
+    pub nz: usize,
+    /// Element edge (m).
+    pub h: f64,
+    /// Constant (known) density, kg/m^3 — the paper inverts mu only.
+    pub rho: f64,
+    pub dt: f64,
+    pub n_steps: usize,
+    /// Receiver node indices (typically on the free surface).
+    pub receivers: Vec<usize>,
+    /// Background modulus for the frozen absorbing-boundary impedance.
+    pub mu_background: f64,
+    /// Which edges absorb: [left, right, bottom]. The top (z = 0) is always
+    /// the free surface.
+    pub absorbing: [bool; 3],
+}
+
+/// The assembled 2-D solver.
+pub struct ShSolver {
+    pub cfg: ShConfig,
+    mass: Vec<f64>,
+    cab: Vec<f64>,
+}
+
+impl ShSolver {
+    pub fn new(cfg: &ShConfig) -> ShSolver {
+        assert!(cfg.nx > 0 && cfg.nz > 0 && cfg.h > 0.0 && cfg.rho > 0.0 && cfg.dt > 0.0);
+        let nn = (cfg.nx + 1) * (cfg.nz + 1);
+        let shell = ShSolver { cfg: cfg.clone(), mass: Vec::new(), cab: Vec::new() };
+        // Lumped mass rho h^2/4 per incident element.
+        let me = cfg.rho * cfg.h * cfg.h / 4.0;
+        let mut mass = vec![0.0; nn];
+        for e in 0..shell.n_elements() {
+            for c in 0..4 {
+                mass[shell.elem_node(e, c)] += me;
+            }
+        }
+        // First-order ABC on left/right/bottom edges: impedance
+        // sqrt(rho mu0) * h/2 per incident half-edge; top (z = 0) is free.
+        let imp = (cfg.rho * cfg.mu_background).sqrt() * cfg.h / 2.0;
+        let mut cab = vec![0.0; nn];
+        for k in 0..=cfg.nz {
+            for i in 0..=cfg.nx {
+                let idx = shell.node(i, k);
+                let mut halves = 0u32;
+                if (cfg.absorbing[0] && i == 0) || (cfg.absorbing[1] && i == cfg.nx) {
+                    halves += edge_mult(k, cfg.nz);
+                }
+                if cfg.absorbing[2] && k == cfg.nz {
+                    halves += edge_mult(i, cfg.nx);
+                }
+                cab[idx] = imp * halves as f64;
+            }
+        }
+        ShSolver { cfg: cfg.clone(), mass, cab }
+    }
+
+    pub fn node(&self, i: usize, k: usize) -> usize {
+        debug_assert!(i <= self.cfg.nx && k <= self.cfg.nz);
+        i + (self.cfg.nx + 1) * k
+    }
+
+    pub fn elem(&self, i: usize, k: usize) -> usize {
+        debug_assert!(i < self.cfg.nx && k < self.cfg.nz);
+        i + self.cfg.nx * k
+    }
+
+    /// Element corner node (bit 0 = +x, bit 1 = +z, matching quad4 order).
+    #[inline]
+    pub fn elem_node(&self, e: usize, c: usize) -> usize {
+        let i = e % self.cfg.nx;
+        let k = e / self.cfg.nx;
+        self.node(i + (c & 1), k + ((c >> 1) & 1))
+    }
+
+    /// Element center (x, z) in meters.
+    pub fn elem_center(&self, e: usize) -> [f64; 2] {
+        let i = e % self.cfg.nx;
+        let k = e / self.cfg.nx;
+        [(i as f64 + 0.5) * self.cfg.h, (k as f64 + 0.5) * self.cfg.h]
+    }
+
+    /// Put `n` receivers uniformly on the free surface (builder style).
+    pub fn with_surface_receivers(mut self, n: usize) -> ShSolver {
+        let mut rec = Vec::with_capacity(n);
+        for a in 0..n {
+            let i = (a + 1) * self.cfg.nx / (n + 1);
+            rec.push(i); // row k = 0 -> node index = i
+        }
+        rec.sort_unstable();
+        rec.dedup();
+        self.cfg.receivers = rec;
+        self
+    }
+
+    /// Sample the element moduli from a pointwise field `mu(x, z)`.
+    pub fn mu_from(&self, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        (0..self.n_elements())
+            .map(|e| {
+                let c = self.elem_center(e);
+                f(c[0], c[1])
+            })
+            .collect()
+    }
+}
+
+fn edge_mult(i: usize, n: usize) -> u32 {
+    if i == 0 || i == n {
+        1
+    } else {
+        2
+    }
+}
+
+impl ScalarWaveEq for ShSolver {
+    fn n_nodes(&self) -> usize {
+        (self.cfg.nx + 1) * (self.cfg.nz + 1)
+    }
+
+    fn n_elements(&self) -> usize {
+        self.cfg.nx * self.cfg.nz
+    }
+
+    fn n_steps(&self) -> usize {
+        self.cfg.n_steps
+    }
+
+    fn dt(&self) -> f64 {
+        self.cfg.dt
+    }
+
+    fn receivers(&self) -> &[usize] {
+        &self.cfg.receivers
+    }
+
+    fn mass(&self) -> &[f64] {
+        &self.mass
+    }
+
+    fn abc_damping(&self) -> &[f64] {
+        &self.cab
+    }
+
+    fn apply_k(&self, mu: &[f64], x: &[f64], y: &mut [f64], scale: f64) {
+        assert_eq!(mu.len(), self.n_elements());
+        let kq = scalar_quad_stiffness();
+        for e in 0..self.n_elements() {
+            let s = scale * mu[e];
+            if s == 0.0 {
+                continue;
+            }
+            let mut xe = [0.0; 4];
+            let mut nid = [0usize; 4];
+            for c in 0..4 {
+                nid[c] = self.elem_node(e, c);
+                xe[c] = x[nid[c]];
+            }
+            for r in 0..4 {
+                let mut acc = 0.0;
+                for c in 0..4 {
+                    acc += kq[r][c] * xe[c];
+                }
+                y[nid[r]] += s * acc;
+            }
+        }
+    }
+
+    fn accumulate_dk(&self, u: &[f64], v: &[f64], out: &mut [f64]) {
+        let kq = scalar_quad_stiffness();
+        for e in 0..self.n_elements() {
+            let mut ue = [0.0; 4];
+            let mut ve = [0.0; 4];
+            for c in 0..4 {
+                let nid = self.elem_node(e, c);
+                ue[c] = u[nid];
+                ve[c] = v[nid];
+            }
+            let mut acc = 0.0;
+            for r in 0..4 {
+                for c in 0..4 {
+                    acc += ue[r] * kq[r][c] * ve[c];
+                }
+            }
+            out[e] += acc;
+        }
+    }
+
+    fn apply_dk(&self, dmu: &[f64], x: &[f64], y: &mut [f64], scale: f64) {
+        self.apply_k(dmu, x, y, scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quake_solver::wave::{adjoint, forward, material_gradient};
+
+    fn cfg() -> ShConfig {
+        ShConfig {
+            nx: 24,
+            nz: 16,
+            h: 500.0,
+            rho: 2200.0,
+            dt: 0.05,
+            n_steps: 80,
+            receivers: vec![],
+            mu_background: 2200.0 * 2000.0 * 2000.0,
+            absorbing: [true; 3],
+        }
+    }
+
+    #[test]
+    fn mass_and_abc_layout() {
+        let s = ShSolver::new(&cfg());
+        let total: f64 = s.mass().iter().sum();
+        let area = 24.0 * 16.0 * 500.0 * 500.0;
+        assert!((total - 2200.0 * area).abs() < 1e-6 * total);
+        let cab = s.abc_damping();
+        assert_eq!(cab[s.node(12, 0)], 0.0, "free surface");
+        assert!(cab[s.node(0, 8)] > 0.0, "left edge");
+        assert!(cab[s.node(24, 8)] > 0.0, "right edge");
+        assert!(cab[s.node(12, 16)] > 0.0, "bottom");
+        assert_eq!(cab[s.node(12, 8)], 0.0, "interior");
+    }
+
+    #[test]
+    fn sh_pulse_travels_at_shear_speed() {
+        let mut c = cfg();
+        c.n_steps = 120;
+        let s = ShSolver::new(&c);
+        let vs = 2000.0;
+        let mu = vec![c.rho * vs * vs; s.n_elements()];
+        let src = s.node(4, 8);
+        let probe = s.node(16, 8); // 6 km away
+        let run = forward(&s, &mu, &mut |k, f| {
+            if k < 4 {
+                f[src] = 1e9;
+            }
+        }, true);
+        let series: Vec<f64> = run.states.iter().map(|u| u[probe].abs()).collect();
+        let peak = series.iter().cloned().fold(0.0f64, f64::max);
+        let arrival = series.iter().position(|&v| v > 0.05 * peak).unwrap() as f64 * c.dt;
+        let expected = 6000.0 / vs;
+        assert!((arrival - expected).abs() < 0.5, "arrival {arrival} vs {expected}");
+    }
+
+    #[test]
+    fn absorbing_edges_drain_energy_reflecting_edges_keep_it() {
+        // Same pulse, with and without ABC: the absorbing run must end far
+        // quieter (first-order ABCs absorb imperfectly at grazing incidence,
+        // so we compare rather than demand near-zero).
+        let mut c = cfg();
+        c.n_steps = 400;
+        let run_with = |absorbing: [bool; 3]| {
+            let mut cc = c.clone();
+            cc.absorbing = absorbing;
+            let s = ShSolver::new(&cc);
+            let mu = vec![cc.rho * 2000.0 * 2000.0; s.n_elements()];
+            let src = s.node(12, 2);
+            let run = forward(&s, &mu, &mut |k, f| {
+                if k < 4 {
+                    f[src] = 1e9;
+                }
+            }, true);
+            let amp = |u: &Vec<f64>| u.iter().map(|v| v * v).sum::<f64>().sqrt();
+            (amp(&run.states[100]), amp(&run.states[400]))
+        };
+        let (_, end_abc) = run_with([true; 3]);
+        let (mid_ref, end_ref) = run_with([false; 3]);
+        assert!(end_ref > 0.7 * mid_ref, "reflecting box lost energy");
+        assert!(
+            end_abc < 0.35 * end_ref,
+            "ABC barely better than reflecting: {end_abc} vs {end_ref}"
+        );
+    }
+
+    #[test]
+    fn gradient_check_2d() {
+        let mut c = cfg();
+        c.nx = 12;
+        c.nz = 8;
+        c.n_steps = 50;
+        let s = ShSolver::new(&c).with_surface_receivers(6);
+        let ne = s.n_elements();
+        let mu0: Vec<f64> = (0..ne)
+            .map(|e| 2200.0 * 2000.0f64.powi(2) * (1.0 + 0.1 * ((e % 4) as f64)))
+            .collect();
+        let mut mu_true = mu0.clone();
+        for (i, v) in mu_true.iter_mut().enumerate() {
+            *v *= 1.0 + 0.03 * ((i % 3) as f64);
+        }
+        let src = s.node(6, 4);
+        fn forcing(src: usize) -> impl FnMut(usize, &mut [f64]) {
+            move |k, f| {
+                if k < 6 {
+                    f[src] = 1e8;
+                }
+            }
+        }
+        let data = forward(&s, &mu_true, &mut forcing(src), false).traces;
+        let misfit = |mu: &[f64]| {
+            let run = forward(&s, mu, &mut forcing(src), false);
+            run.traces
+                .iter()
+                .zip(&data)
+                .flat_map(|(t, d)| t.iter().zip(d))
+                .map(|(a, b)| 0.5 * (a - b) * (a - b) * s.dt())
+                .sum::<f64>()
+        };
+        let run = forward(&s, &mu0, &mut forcing(src), true);
+        let residuals: Vec<Vec<f64>> = run
+            .traces
+            .iter()
+            .zip(&data)
+            .map(|(t, d)| t.iter().zip(d).map(|(a, b)| a - b).collect())
+            .collect();
+        let adj = adjoint(&s, &mu0, &residuals);
+        let g = material_gradient(&s, &run.states, &adj.states);
+        for &e in &[0usize, ne / 2, ne - 1] {
+            let eps = mu0[e] * 1e-6;
+            let mut mp = mu0.clone();
+            mp[e] += eps;
+            let mut mm = mu0.clone();
+            mm[e] -= eps;
+            let fd = (misfit(&mp) - misfit(&mm)) / (2.0 * eps);
+            let rel = (g[e] - fd).abs() / (1.0 + fd.abs().max(g[e].abs()));
+            assert!(rel < 1e-5, "element {e}: {} vs {fd}", g[e]);
+        }
+    }
+}

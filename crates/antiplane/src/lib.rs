@@ -1,0 +1,23 @@
+//! 2-D antiplane (SH) wave propagation — the inversion testbed of Section 3.
+//!
+//! A vertical basin cross-section undergoing antiplane motion: the single
+//! out-of-plane displacement `u(x, z, t)` obeys
+//! `rho u_tt - div(mu grad u) = -div(mu u0 g(t) delta(Sigma) n)`, with a free
+//! surface on top, first-order absorbing boundaries on the sides and bottom
+//! (eq. 3.2), and a dislocation (dipole) source along a fault line.
+//!
+//! The discretization is bilinear quads on a regular grid, implementing
+//! [`quake_solver::wave::ScalarWaveEq`] so the shared marching engine
+//! provides forward, exact discrete adjoint, and stiffness-derivative
+//! products. A handy 2-D fact: the scalar quad stiffness is independent of
+//! element size, so `K_e = mu_e K_Q` with one canonical 4x4 matrix.
+//!
+//! [`fault::FaultSource`] carries the per-point source parameters
+//! `(T, t0, u0)` with analytic force derivatives for the source inversion of
+//! Fig 3.3.
+
+pub mod fault;
+pub mod grid;
+
+pub use fault::FaultSource;
+pub use grid::{ShConfig, ShSolver};

@@ -1,0 +1,111 @@
+//! Fig 2.1 — the etree mesh-generation pipeline (construct / balance /
+//! transform), run out-of-core on disk, with the local-balancing speedup.
+
+use quake_bench::{full_scale, print_table};
+use quake_etree::{DiskStore, EtreePipeline, MaterialRec, MemStore, OctantStore, PipelineStats};
+use quake_model::{LaBasinModel, MaterialModel};
+use quake_octree::{BalanceMode, LinearOctree, Octant};
+use std::time::Instant;
+
+fn main() {
+    let extent = 40_000.0;
+    let model = LaBasinModel::scaled(200.0, extent);
+    let fmax = if full_scale() { 0.3 } else { 0.2 };
+    let max_level = if full_scale() { 8 } else { 7 };
+    let ppw = 10.0;
+
+    let refine = |o: &Octant| -> bool {
+        if o.level < 3 {
+            return true;
+        }
+        if o.level >= max_level {
+            return false;
+        }
+        let c = o.center_unit();
+        let s = o.size_unit();
+        let lo = [(c[0] - s / 2.0) * extent, (c[1] - s / 2.0) * extent, (c[2] - s / 2.0) * extent];
+        let hi = [(c[0] + s / 2.0) * extent, (c[1] + s / 2.0) * extent, (c[2] + s / 2.0) * extent];
+        let vs = model.min_vs_in_box(lo, hi);
+        o.size_unit() * extent > vs / (ppw * fmax)
+    };
+    let material = |o: &Octant| -> MaterialRec {
+        let c = o.center_unit();
+        let m = model.sample(c[0] * extent, c[1] * extent, c[2] * extent);
+        MaterialRec { vp: m.vp, vs: m.vs, rho: m.rho }
+    };
+
+    let dir = std::env::temp_dir().join(format!("quake-fig2_1-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // --- Out-of-core pipeline on the disk B-tree. ---
+    let pipeline = EtreePipeline::default();
+    let mut stats = PipelineStats::default();
+    let mut store = DiskStore::create(&dir.join("octants.btree"), 1024).unwrap();
+    pipeline.construct(&mut store, refine, material, &mut stats).unwrap();
+    pipeline.balance(&mut store, material, &mut stats).unwrap();
+    let db = pipeline.transform(&mut store, &dir, &mut stats).unwrap();
+    store.flush().unwrap();
+    let io = store.io_stats();
+
+    print_table(
+        "Fig 2.1: etree pipeline (out-of-core, disk B-tree)",
+        &["stage", "octants/records", "seconds"],
+        &[
+            vec![
+                "construct".into(),
+                format!("{}", stats.constructed_octants),
+                format!("{:.2}", stats.construct_secs),
+            ],
+            vec![
+                "balance".into(),
+                format!("{}", stats.after_balance_octants),
+                format!("{:.2}", stats.balance_secs),
+            ],
+            vec![
+                "transform".into(),
+                format!("{} elem / {} nodes ({} hanging)", db.n_elements, db.n_nodes, db.n_hanging),
+                format!("{:.2}", stats.transform_secs),
+            ],
+        ],
+    );
+    println!(
+        "pager: {} reads, {} writes, {} hits, {} misses, {} evictions",
+        io.disk_reads, io.disk_writes, io.cache_hits, io.cache_misses, io.evictions
+    );
+    println!(
+        "boundary queue (local balancing): {} of {} octants",
+        stats.boundary_queue_len, stats.after_balance_octants
+    );
+
+    // --- Local vs global balancing (in memory, timing comparison). ---
+    let mut mem = MemStore::new();
+    let mut s2 = PipelineStats::default();
+    pipeline.construct(&mut mem, refine, material, &mut s2).unwrap();
+    let mut leaves = Vec::new();
+    mem.scan_all(&mut |o, _| leaves.push(o)).unwrap();
+
+    let mut t_global = LinearOctree::from_leaves(leaves.clone());
+    let t0 = Instant::now();
+    t_global.balance(BalanceMode::Full);
+    let global_secs = t0.elapsed().as_secs_f64();
+
+    let mut t_local = LinearOctree::from_leaves(leaves);
+    let t0 = Instant::now();
+    quake_octree::balance_local(&mut t_local, BalanceMode::Full, 2);
+    let local_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(t_global.leaves(), t_local.leaves(), "local balancing must match global");
+    print_table(
+        "local vs global balancing (identical results)",
+        &["method", "seconds"],
+        &[
+            vec!["global ripple".into(), format!("{global_secs:.2}")],
+            vec!["local (8^2 blocks) + boundary".into(), format!("{local_secs:.2}")],
+        ],
+    );
+    println!(
+        "(the paper's 8-28x local-balancing speedup is an *out-of-core* effect:\n\
+         block-local work stays inside the page cache; in-core the benefit is\n\
+         locality of the BTreeMap working set)"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}

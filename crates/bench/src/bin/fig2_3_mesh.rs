@@ -1,0 +1,87 @@
+//! Fig 2.3 — the LA Basin model: shear-velocity structure, the adaptive
+//! octree mesh that resolves it, and the 64-PE element partition.
+
+use quake_bench::{ascii_heatmap, full_scale, print_table};
+use quake_mesh::{mesh_from_model, partition_morton, partition_rcb, ExchangePlan, MeshStats, MeshingParams};
+use quake_model::{LaBasinModel, MaterialModel};
+use quake_octree::adapt::{uniform_equivalent_points, AdaptParams};
+
+fn main() {
+    let extent = 80_000.0;
+    let vs_min = if full_scale() { 150.0 } else { 250.0 };
+    let fmax = if full_scale() { 0.2 } else { 0.1 };
+    let model = LaBasinModel::standard(vs_min);
+
+    // (a) surface shear-velocity map (the paper's plan view).
+    let n = 48;
+    let mut vs_map = Vec::with_capacity(n * n);
+    for j in 0..n {
+        for i in 0..n {
+            let x = extent * (i as f64 + 0.5) / n as f64;
+            let y = extent * (j as f64 + 0.5) / n as f64;
+            vs_map.push(model.sample(x, y, 0.0).vs);
+        }
+    }
+    ascii_heatmap("Fig 2.3a: free-surface shear velocity (m/s)", &vs_map, n, 64);
+
+    // (b) the wavelength-adaptive mesh.
+    let mut meshing = MeshingParams::new(extent, fmax);
+    meshing.min_level = 3;
+    meshing.max_level = if full_scale() { 9 } else { 8 };
+    let t0 = std::time::Instant::now();
+    let (_tree, mesh) = mesh_from_model(&meshing, &model);
+    let stats = MeshStats::compute(&mesh);
+    println!("\nFig 2.3b: adaptive mesh for {fmax} Hz ({:.1}s to build)", t0.elapsed().as_secs_f64());
+    print!("{}", stats.report());
+    let adapt = AdaptParams {
+        domain_size: extent,
+        fmax,
+        points_per_wavelength: 10.0,
+        max_level: meshing.max_level,
+        min_level: meshing.min_level,
+    };
+    let uniform = uniform_equivalent_points(&adapt, stats.vs_min);
+    println!(
+        "uniform-grid equivalent: {:.2e} points vs {:.2e} adaptive ({}x saving)",
+        uniform as f64,
+        stats.n_nodes as f64,
+        uniform / stats.n_nodes.max(1) as u128
+    );
+
+    // (c) 2-to-1 structure: level histogram already printed; hanging share:
+    println!(
+        "Fig 2.3c: hanging nodes {} of {} ({:.1}%) — the 2-to-1 interfaces",
+        stats.n_hanging,
+        stats.n_nodes,
+        100.0 * stats.hanging_fraction
+    );
+
+    // (d) 64-PE partitions (ParMETIS substitute): Morton vs RCB.
+    let centers: Vec<[f64; 3]> = mesh
+        .elements
+        .iter()
+        .map(|e| {
+            let lo = mesh.coords[e.nodes[0] as usize];
+            [lo[0] + e.h / 2.0, lo[1] + e.h / 2.0, lo[2] + e.h / 2.0]
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (name, parts) in [
+        ("Morton SFC", partition_morton(mesh.n_elements(), 64)),
+        ("RCB", partition_rcb(&centers, 64)),
+    ] {
+        let plan = ExchangePlan::build(&mesh, &parts, 64);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", plan.stats.imbalance),
+            format!("{}", plan.stats.interface_nodes),
+            format!("{}", plan.stats.cut_pairs),
+            format!("{}", plan.stats.max_neighbors),
+        ]);
+    }
+    print_table(
+        "Fig 2.3d: element partition for 64 PEs",
+        &["method", "imbalance", "interface nodes", "cut pairs", "max neighbors"],
+        &rows,
+    );
+}

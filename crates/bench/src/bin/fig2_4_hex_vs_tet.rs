@@ -1,0 +1,126 @@
+//! Fig 2.4 — hexahedral vs tetrahedral seismograms at two frequencies.
+//!
+//! The paper compares its new hex code against the verified tet baseline:
+//! at the tet code's resolution limit (0.5 Hz there) the two agree; at the
+//! hex code's higher resolution (1 Hz) the hex run shows larger amplitudes
+//! and high-frequency content the coarse tet model cannot represent. We
+//! reproduce the protocol at scaled frequencies on a scaled basin: both
+//! codes on the conforming coarse mesh (agreement + memory comparison),
+//! then the hex code on a 2x finer mesh, with the waveform comparison made
+//! after low-pass filtering at the "low" and "high" corners.
+
+use quake_bench::{full_scale, print_table};
+use quake_mesh::hexmesh::ElemMaterial;
+use quake_mesh::HexMesh;
+use quake_model::{ExtendedFault, LaBasinModel, MaterialModel};
+use quake_octree::LinearOctree;
+use quake_solver::receivers::{correlation, lowpass_filtfilt};
+use quake_solver::tet::TetSolver;
+use quake_solver::{assemble_point_sources, ElasticConfig, ElasticSolver};
+
+fn uniform_basin_mesh(model: &LaBasinModel, extent: f64, level: u8) -> (LinearOctree, HexMesh) {
+    let tree = LinearOctree::uniform(level);
+    let mesh = HexMesh::from_octree(&tree, extent, |x, y, z, _| {
+        let m = model.sample(x, y, z);
+        ElemMaterial { lambda: m.lambda(), mu: m.mu(), rho: m.rho }
+    });
+    (tree, mesh)
+}
+
+fn main() {
+    let extent = 20_000.0;
+    let model = LaBasinModel::scaled(400.0, extent);
+    let fault = ExtendedFault::northridge_like(extent);
+    let duration = if full_scale() { 12.0 } else { 8.0 };
+    let coarse_level = 5; // 32^3 elements -> tet baseline resolution
+    let fine_level = 6; // 64^3 -> hex-only resolution
+
+    let (tree_c, mesh_c) = uniform_basin_mesh(&model, extent, coarse_level);
+    let (tree_f, mesh_f) = uniform_basin_mesh(&model, extent, fine_level);
+    // Two stations: one over the basin ("JFP"-like), one near bedrock
+    // ("TAR"-like).
+    let stations = [
+        [extent * 0.65, extent * 0.62, 0.0],
+        [extent * 0.15, extent * 0.2, 0.0],
+    ];
+    let rec_c: Vec<u32> = stations.iter().map(|&p| mesh_c.nearest_node(p)).collect();
+    let rec_f: Vec<u32> = stations.iter().map(|&p| mesh_f.nearest_node(p)).collect();
+
+    // Matched time step so traces can be compared sample-by-sample.
+    let dt = {
+        let s = ElasticSolver::new(&mesh_f, &ElasticConfig::new(duration));
+        s.dt
+    };
+    let mut cfg = ElasticConfig::new(duration);
+    cfg.dt = Some(dt);
+    let n_steps = (duration / dt).ceil() as usize;
+
+    let srcs_c = assemble_point_sources(&mesh_c, &tree_c, &fault.discretize(4, 3));
+    let srcs_f = assemble_point_sources(&mesh_f, &tree_f, &fault.discretize(4, 3));
+
+    let hex_c = ElasticSolver::new(&mesh_c, &cfg).run(&srcs_c, &rec_c, None);
+    let hex_f = ElasticSolver::new(&mesh_f, &cfg).run(&srcs_f, &rec_f, None);
+    let tet_c = TetSolver::new(&mesh_c, dt, cfg.abc).run(&srcs_c, &rec_c, n_steps);
+
+    // The coarse mesh resolves vs_min/(10 h) Hz; the fine mesh double that.
+    let h_c = extent / 2f64.powi(coarse_level as i32);
+    let f_low = 400.0 / (10.0 * h_c);
+    let f_high = 2.0 * f_low;
+    println!("low corner {f_low:.2} Hz (tet-resolvable), high corner {f_high:.2} Hz (hex only)");
+
+    let mut rows = Vec::new();
+    for (st, name) in ["basin (JFP-like)", "bedrock (TAR-like)"].iter().enumerate() {
+        for comp in 0..3usize {
+            let th = hex_c.seismograms[st].component(comp);
+            let tt = tet_c[st].component(comp);
+            let tf = hex_f.seismograms[st].component(comp);
+            let lp = |x: &[f64], fc: f64| lowpass_filtfilt(x, dt, fc);
+            let c_low = correlation(&lp(&th, f_low), &lp(&tt, f_low));
+            let c_high = correlation(&lp(&tf, f_high), &lp(&tt, f_high));
+            let peak = |x: &[f64]| x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            rows.push(vec![
+                name.to_string(),
+                ["x", "y", "z"][comp].to_string(),
+                format!("{c_low:.3}"),
+                format!("{c_high:.3}"),
+                format!("{:.2}", peak(&lp(&tf, f_high)) / peak(&lp(&tt, f_high)).max(1e-30)),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 2.4: hex vs tet waveform agreement",
+        &[
+            "station",
+            "comp",
+            "corr @ low f (hex-c vs tet)",
+            "corr @ high f (hex-f vs tet)",
+            "peak ratio @ high f (hex-f/tet)",
+        ],
+        &rows,
+    );
+
+    // The memory claim of Section 2.
+    let tet_mem = TetSolver::new(&mesh_c, dt, cfg.abc).k.memory_bytes();
+    let hex_mem = mesh_c.memory_estimate_bytes(3);
+    print_table(
+        "memory per solver (same coarse mesh)",
+        &["solver", "bytes", "bytes/point"],
+        &[
+            vec![
+                "tet (CSR stiffness)".into(),
+                format!("{tet_mem}"),
+                format!("{:.0}", tet_mem as f64 / mesh_c.n_nodes() as f64),
+            ],
+            vec![
+                "hex (matrix-free)".into(),
+                format!("{hex_mem}"),
+                format!("{:.0}", hex_mem as f64 / mesh_c.n_nodes() as f64),
+            ],
+        ],
+    );
+    println!(
+        "expected shape: high correlation at the low corner, degraded\n\
+         correlation and peak ratio > 1 at the high corner (the fine hex run\n\
+         carries energy the coarse tet model cannot), ~10x memory gap."
+    );
+}

@@ -1,0 +1,128 @@
+//! Fig 2.5 — snapshots of the propagating Northridge wavefield.
+//!
+//! The paper shows surface wave-field snapshots with strong directivity
+//! along strike from the epicenter and concentrated motion near the fault
+//! corners. We run the scaled Northridge scenario, capture surface-velocity
+//! snapshots at several times, render them as ASCII maps, and quantify the
+//! directivity (peak motion in the rupture direction vs behind it).
+
+use quake_bench::{ascii_heatmap, full_scale};
+use quake_core::northridge_scenario;
+use quake_mesh::mesh_from_model;
+use quake_solver::{assemble_point_sources, ElasticSolver};
+
+fn main() {
+    let extent = if full_scale() { 40_000.0 } else { 20_000.0 };
+    let fmax = if full_scale() { 0.5 } else { 0.4 };
+    let duration = if full_scale() { 16.0 } else { 10.0 };
+    let (model, mut scenario) = northridge_scenario(extent, fmax, 400.0, duration, 8);
+    scenario.meshing.max_level = if full_scale() { 8 } else { 7 };
+    let (tree, mesh) = mesh_from_model(&scenario.meshing, &model);
+    println!(
+        "mesh: {} elements / {} nodes; fault strike {:.0} deg, hypocenter {:?}",
+        mesh.n_elements(),
+        mesh.n_nodes(),
+        scenario.fault.strike.to_degrees(),
+        scenario.fault.hypocenter().map(|v| (v / 1000.0 * 10.0).round() / 10.0)
+    );
+    let solver = ElasticSolver::new(&mesh, &scenario.solve);
+    let sources = assemble_point_sources(&mesh, &tree, &scenario.fault.discretize(6, 4));
+
+    // March manually, sampling surface velocity at snapshot times.
+    let n = 40; // surface raster
+    let surface: Vec<u32> = {
+        let mut ids = Vec::with_capacity(n * n);
+        for j in 0..n {
+            for i in 0..n {
+                let p = [
+                    extent * (i as f64 + 0.5) / n as f64,
+                    extent * (j as f64 + 0.5) / n as f64,
+                    0.0,
+                ];
+                ids.push(mesh.nearest_node(p));
+            }
+        }
+        ids
+    };
+    let snap_times: Vec<f64> =
+        (1..=4).map(|k| duration * k as f64 / 4.0).collect();
+    let ndof = 3 * mesh.n_nodes();
+    let (mut up, mut unow, mut unext) = (vec![0.0; ndof], vec![0.0; ndof], vec![0.0; ndof]);
+    let mut f = vec![0.0; ndof];
+    let mut peak = vec![0.0f64; n * n];
+    let mut next_snap = 0usize;
+    for k in 0..solver.n_steps {
+        let t = k as f64 * solver.dt;
+        f.iter_mut().for_each(|v| *v = 0.0);
+        for s in &sources {
+            s.add_force(t, &mut f);
+        }
+        solver.step(&up, &unow, &f, &mut unext);
+        // Track peak surface velocity magnitude.
+        for (pix, &nd) in surface.iter().enumerate() {
+            let b = nd as usize * 3;
+            let mut v2 = 0.0;
+            for c in 0..3 {
+                let v = (unext[b + c] - up[b + c]) / (2.0 * solver.dt);
+                v2 += v * v;
+            }
+            peak[pix] = peak[pix].max(v2.sqrt());
+        }
+        if next_snap < snap_times.len() && t >= snap_times[next_snap] {
+            let snap: Vec<f64> = surface
+                .iter()
+                .map(|&nd| {
+                    let b = nd as usize * 3;
+                    (0..3)
+                        .map(|c| {
+                            let v = (unext[b + c] - up[b + c]) / (2.0 * solver.dt);
+                            v * v
+                        })
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .collect();
+            ascii_heatmap(
+                &format!("surface |v| at t = {:.1} s", snap_times[next_snap]),
+                &snap,
+                n,
+                60,
+            );
+            next_snap += 1;
+        }
+        std::mem::swap(&mut up, &mut unow);
+        std::mem::swap(&mut unow, &mut unext);
+    }
+    ascii_heatmap("peak surface velocity over the whole record", &peak, n, 60);
+
+    // Directivity: rupture propagates up-dip/along-strike; compare peak
+    // motion ahead of the rupture with behind it.
+    let hypo = scenario.fault.hypocenter();
+    let strike = scenario.fault.strike_dir();
+    let (mut ahead, mut behind) = (0.0f64, 0.0f64);
+    for j in 0..n {
+        for i in 0..n {
+            let p = [
+                extent * (i as f64 + 0.5) / n as f64,
+                extent * (j as f64 + 0.5) / n as f64,
+            ];
+            let along = (p[0] - hypo[0]) * strike[0] + (p[1] - hypo[1]) * strike[1];
+            let r = ((p[0] - hypo[0]).powi(2) + (p[1] - hypo[1]).powi(2)).sqrt();
+            if r < extent * 0.12 || r > extent * 0.45 {
+                continue; // ring around the epicenter
+            }
+            if along > 0.6 * r {
+                ahead = ahead.max(peak[i + n * j]);
+            } else if along < -0.6 * r {
+                behind = behind.max(peak[i + n * j]);
+            }
+        }
+    }
+    println!(
+        "\ndirectivity: peak |v| along strike {:.3e} vs back-azimuth {:.3e} (ratio {:.2})",
+        ahead,
+        behind,
+        ahead / behind.max(1e-30)
+    );
+    println!("expected shape: ratio > 1 — forward-directivity amplification, as observed in 1994.");
+}

@@ -1,0 +1,106 @@
+//! Fig 3.2 — multiscale material inversion of the 2-D basin cross-section.
+//!
+//! The paper inverts the shear-velocity section of the LA basin from 5%-
+//! noisy synthetic surface records, via grid continuation 1x1 -> 257x257,
+//! with 64 receivers (and a degraded 16-receiver comparison), judging the
+//! result also by the waveform at a *non-receiver* location. Scaled here:
+//! the same cascade on a smaller section, the same two receiver counts.
+
+use quake_bench::{ascii_heatmap, full_scale, print_table, rel_l2};
+use quake_inverse::{invert_multiscale, GnConfig, MaterialMap, MultiscaleConfig};
+use quake_solver::wave::{forward, ScalarWaveEq};
+
+fn main() {
+    let (nx, nz, steps) = if full_scale() { (70, 40, 400) } else { (42, 24, 220) };
+    let grids: Vec<[usize; 3]> = if full_scale() {
+        vec![[2, 2, 1], [3, 3, 1], [5, 4, 1], [9, 6, 1], [17, 11, 1], [33, 21, 1]]
+    } else {
+        vec![[2, 2, 1], [3, 3, 1], [5, 4, 1], [9, 6, 1], [13, 9, 1]]
+    };
+
+    for &n_rec in &[64usize, 16] {
+        let sc = quake_core::material_scenario(nx, nz, steps, n_rec, 0.05, 20030 + n_rec as u64);
+        let base = sc.mu_background[0];
+        let cfg = MultiscaleConfig {
+            grids: grids.clone(),
+            domain: sc.domain,
+            tv_eps: 0.02 * base / 2000.0,
+            tv_beta: 1e-26,
+            per_level: GnConfig {
+                max_gn_iters: 15,
+                max_cg_iters: 40,
+                grad_tol: 1e-2,
+                barrier: Some((0.05 * base, 1e-7)),
+                ..GnConfig::default()
+            },
+            freq_schedule: None,
+        };
+        let forcing = sc.forcing();
+        let t0 = std::time::Instant::now();
+        let (m, levels) =
+            invert_multiscale(&sc.solver, &forcing, &sc.data, &sc.centers, base, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+
+        // Per-level convergence (the cascade frames of Fig 3.2a).
+        let rows: Vec<Vec<String>> = levels
+            .iter()
+            .map(|l| {
+                vec![
+                    format!("{}x{}", l.dims[0], l.dims[1]),
+                    format!("{}", l.stats.gn_iters),
+                    format!("{}", l.stats.cg_iters_total),
+                    format!("{:.3e}", l.stats.misfit_history.last().copied().unwrap_or(0.0)),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig 3.2: multiscale cascade, {n_rec} receivers ({secs:.0}s)"),
+            &["grid", "GN iters", "CG iters", "final misfit"],
+            &rows,
+        );
+
+        // Compare recovered vs target *element* shear velocity.
+        let dims = *grids.last().unwrap();
+        let map = MaterialMap::new(&sc.centers, sc.domain, dims);
+        let mu_inv = map.interpolate(&m);
+        let vs_inv: Vec<f64> =
+            mu_inv.iter().map(|&mu| (mu / sc.section.rho).sqrt()).collect();
+        let vs_true: Vec<f64> =
+            sc.mu_true.iter().map(|&mu| (mu / sc.section.rho).sqrt()).collect();
+        println!("relative L2 error of recovered vs field: {:.3}", rel_l2(&vs_inv, &vs_true));
+        if n_rec == 64 {
+            ascii_heatmap("target vs (m/s)", &vs_true, nx, 70);
+            ascii_heatmap("inverted vs (m/s)", &vs_inv, nx, 70);
+        }
+
+        // Waveform check at a NON-receiver surface location (Fig 3.2b).
+        let probe = {
+            // Halfway between two receivers.
+            let r = sc.solver.receivers();
+            (r[r.len() / 3] + r[r.len() / 3 + 1]) / 2
+        };
+        let mut probe_solver = sc.solver.cfg.clone();
+        probe_solver.receivers = vec![probe];
+        let ps = quake_antiplane::ShSolver::new(&probe_solver);
+        let dt = ps.dt();
+        let tr = |mu: &[f64]| {
+            forward(&ps, mu, &mut |k, f| sc.fault.add_force(k as f64 * dt, f), false).traces
+                [0]
+            .clone()
+        };
+        let t_true = tr(&sc.mu_true);
+        let t_guess = tr(&sc.mu_background);
+        let t_inv = tr(&mu_inv);
+        println!(
+            "non-receiver trace misfit: initial guess {:.3}, inverted {:.3} (rel L2 vs target)",
+            rel_l2(&t_guess, &t_true),
+            rel_l2(&t_inv, &t_true)
+        );
+    }
+    println!(
+        "\nexpected shape (paper): the cascade sharpens the image level by\n\
+         level; 16 receivers recover a blurrier but still faithful model;\n\
+         the non-receiver waveform of the inverted model stays close to the\n\
+         target's."
+    );
+}

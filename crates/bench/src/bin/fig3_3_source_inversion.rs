@@ -1,0 +1,103 @@
+//! Fig 3.3 — source inversion: recover the delay-time T(x), amplitude
+//! u0(x) and rise-time t0(x) fields along the fault, showing the initial
+//! guess, the 5th iterate and the converged solution against the target.
+
+use quake_bench::{full_scale, print_table, rel_l2};
+use quake_core::source_scenario;
+use quake_inverse::{invert_source, GnConfig, SourceInversionConfig};
+use quake_solver::wave::{forward, ScalarWaveEq};
+
+fn main() {
+    let (nx, nz, steps) = if full_scale() { (40, 24, 500) } else { (20, 12, 250) };
+    let sc = source_scenario(nx, nz, steps, 16, 0.0, 7);
+    let cfg = SourceInversionConfig {
+        gn: GnConfig { max_gn_iters: 40, grad_tol: 1e-8, ..GnConfig::default() },
+        beta_delay: 1e-6,
+        beta_rise: 1e-6,
+        beta_amplitude: 1e-6,
+        ..SourceInversionConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let out = invert_source(
+        &sc.solver,
+        &sc.fault_true,
+        &sc.mu,
+        &sc.data,
+        (&sc.initial.0, &sc.initial.1, &sc.initial.2),
+        &cfg,
+    );
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "GN iterations: {}, CG iterations: {}, misfit {:.3e} -> {:.3e} ({secs:.0}s)",
+        out.stats.gn_iters,
+        out.stats.cg_iters_total,
+        out.stats.misfit_history.first().unwrap(),
+        out.stats.misfit_history.last().unwrap()
+    );
+
+    // The paper's three columns: initial guess, 5th iteration, converged.
+    let pick = |it: usize| {
+        out.iterates
+            .iter()
+            .min_by_key(|(k, _, _, _)| k.abs_diff(it))
+            .expect("iterates recorded")
+    };
+    let fifth = pick(5);
+    let ns = sc.fault_true.n_segments();
+    let mut rows = Vec::new();
+    for j in 0..ns {
+        let p = &sc.fault_true.params[j];
+        rows.push(vec![
+            format!("{:.2}", sc.fault_true.centers_z[j] / 1000.0),
+            format!("{:.3}", sc.initial.0[j]),
+            format!("{:.3}", fifth.1[j]),
+            format!("{:.3}", out.delays[j]),
+            format!("{:.3}", p.delay),
+            format!("{:.2}", sc.initial.1[j]),
+            format!("{:.2}", fifth.2[j]),
+            format!("{:.2}", out.rises[j]),
+            format!("{:.2}", p.rise),
+            format!("{:.2}", sc.initial.2[j]),
+            format!("{:.2}", fifth.3[j]),
+            format!("{:.2}", out.amplitudes[j]),
+            format!("{:.2}", p.amplitude),
+        ]);
+    }
+    print_table(
+        "Fig 3.3: source fields along the fault (initial / 5th / converged / target)",
+        &[
+            "depth km", "T init", "T 5th", "T conv", "T tgt", "t0 init", "t0 5th", "t0 conv",
+            "t0 tgt", "u0 init", "u0 5th", "u0 conv", "u0 tgt",
+        ],
+        &rows,
+    );
+
+    // Displacement history at a receiver (bottom row of Fig 3.3).
+    let dt = sc.solver.dt();
+    let receiver0 = 0usize; // first receiver trace
+    let with_params = |d: &[f64], r: &[f64], a: &[f64]| {
+        let mut fault = sc.fault_true.clone();
+        fault.params = d
+            .iter()
+            .zip(r)
+            .zip(a)
+            .map(|((&dd, &rr), &aa)| quake_model::SlipFunction::new(dd, rr, aa))
+            .collect();
+        forward(&sc.solver, &sc.mu, &mut |k, f| fault.add_force(k as f64 * dt, f), false)
+            .traces[receiver0]
+            .clone()
+    };
+    let target_tr = &sc.data[receiver0];
+    let init_tr = with_params(&sc.initial.0, &sc.initial.1, &sc.initial.2);
+    let conv_tr = with_params(&out.delays, &out.rises, &out.amplitudes);
+    println!(
+        "\nreceiver displacement, rel L2 vs target: initial {:.3}, converged {:.4}",
+        rel_l2(&init_tr, target_tr),
+        rel_l2(&conv_tr, target_tr)
+    );
+    println!(
+        "expected shape (paper): the converged solution essentially\n\
+         coincides with the target in all three fields and in the waveform."
+    );
+    let _ = ScalarWaveEq::n_nodes(&sc.solver);
+}

@@ -1,0 +1,209 @@
+//! The Section 3 inversion scenarios with pseudo-observed data.
+
+use quake_antiplane::{FaultSource, ShConfig, ShSolver};
+use quake_inverse::misfit::add_noise;
+use quake_model::Section2d;
+use quake_solver::wave::{forward, ScalarWaveEq};
+
+/// The Fig 3.2 setup: a basin cross-section target, a known source, and
+/// noisy pseudo-observed surface data.
+pub struct MaterialScenario {
+    pub solver: ShSolver,
+    pub section: Section2d,
+    /// Target moduli per element.
+    pub mu_true: Vec<f64>,
+    /// Frozen background moduli (also the fault dipole strength).
+    pub mu_background: Vec<f64>,
+    pub fault: FaultSource,
+    /// Noisy observed traces.
+    pub data: Vec<Vec<f64>>,
+    /// Element centers as 3-vectors (z inactive) for `MaterialMap`.
+    pub centers: Vec<[f64; 3]>,
+    /// Physical domain for `MaterialMap` ([width, depth, 1]).
+    pub domain: [f64; 3],
+}
+
+impl MaterialScenario {
+    /// The known-source forcing closure.
+    pub fn forcing(&self) -> impl Fn(usize, &mut [f64]) + Sync + '_ {
+        let dt = self.solver.dt();
+        move |k: usize, f: &mut [f64]| self.fault.add_force(k as f64 * dt, f)
+    }
+}
+
+/// Build the Fig 3.2 scenario at a given wave-grid resolution.
+///
+/// `nx x nz` wave elements over the 35 km x 20 km section, `n_receivers`
+/// uniformly on the free surface, `noise` relative data noise (paper: 0.05).
+pub fn material_scenario(
+    nx: usize,
+    nz: usize,
+    n_steps: usize,
+    n_receivers: usize,
+    noise: f64,
+    seed: u64,
+) -> MaterialScenario {
+    let section = Section2d::default();
+    let h = section.width / nx as f64;
+    assert!(
+        (section.depth / nz as f64 - h).abs() < 0.35 * h,
+        "keep elements roughly square: nx/nz must match the 35x20 aspect"
+    );
+    let h = section.width / nx as f64;
+    // CFL for the stiffest target material.
+    let vs_max = 3600.0;
+    let dt = 0.4 * h / vs_max;
+    let solver = ShSolver::new(&ShConfig {
+        nx,
+        nz,
+        h,
+        rho: section.rho,
+        dt,
+        n_steps,
+        receivers: vec![],
+        mu_background: section.rho * 2200.0 * 2200.0,
+        absorbing: [true; 3],
+    })
+    .with_surface_receivers(n_receivers);
+
+    let mu_true = solver.mu_from(|x, z| section.mu(x, z));
+    let mu_background =
+        vec![section.rho * section.homogeneous_guess_vs().powi(2); mu_true.len()];
+
+    // Strike-slip fault perpendicular to the section, mid-basin (the
+    // vertical line of Fig 3.2's target frame), hypocenter at depth.
+    let i_fault = nx / 2;
+    let k_top = nz / 5;
+    let k_bot = nz / 2;
+    let hypo_k = (k_top + k_bot) / 2;
+    let fault =
+        FaultSource::from_hypocenter(&solver, &mu_background, i_fault, k_top, k_bot, hypo_k, 2800.0, 1.2, 1.0);
+
+    let dt_solver = solver.dt();
+    let mut data = forward(
+        &solver,
+        &mu_true,
+        &mut |k, f| fault.add_force(k as f64 * dt_solver, f),
+        false,
+    )
+    .traces;
+    if noise > 0.0 {
+        add_noise(&mut data, noise, seed);
+    }
+
+    let centers: Vec<[f64; 3]> = (0..mu_true.len())
+        .map(|e| {
+            let c = solver.elem_center(e);
+            [c[0], c[1], 0.0]
+        })
+        .collect();
+    let domain = [section.width, section.depth, 1.0];
+    MaterialScenario { solver, section, mu_true, mu_background, fault, data, centers, domain }
+}
+
+/// The Fig 3.3 setup: known material, unknown source fields.
+pub struct SourceScenario {
+    pub solver: ShSolver,
+    pub mu: Vec<f64>,
+    /// Fault with the *target* parameters.
+    pub fault_true: FaultSource,
+    pub data: Vec<Vec<f64>>,
+    /// Initial-guess fields (delays, rises, amplitudes).
+    pub initial: (Vec<f64>, Vec<f64>, Vec<f64>),
+}
+
+/// Build the source-inversion scenario.
+pub fn source_scenario(
+    nx: usize,
+    nz: usize,
+    n_steps: usize,
+    n_receivers: usize,
+    noise: f64,
+    seed: u64,
+) -> SourceScenario {
+    let h = 17_500.0 / nx as f64; // ~6 km fault in a 17.5 km section
+    let rho = 2200.0;
+    let vs = 2000.0;
+    let dt = 0.4 * h / vs;
+    let solver = ShSolver::new(&ShConfig {
+        nx,
+        nz,
+        h,
+        rho,
+        dt,
+        n_steps,
+        receivers: vec![],
+        mu_background: rho * vs * vs,
+        absorbing: [true; 3],
+    })
+    .with_surface_receivers(n_receivers);
+    let mu = vec![rho * vs * vs; solver.n_elements()];
+    let k_top = nz / 6;
+    let k_bot = (nz as f64 * 0.55) as usize;
+    let hypo_k = (k_top + 2 * k_bot) / 3;
+    let fault_true = FaultSource::from_hypocenter(
+        &solver,
+        &mu,
+        nx / 2,
+        k_top,
+        k_bot,
+        hypo_k,
+        2800.0,
+        1.5,
+        1.0,
+    );
+    let dt_solver = solver.dt();
+    let mut data = forward(
+        &solver,
+        &mu,
+        &mut |k, f| fault_true.add_force(k as f64 * dt_solver, f),
+        false,
+    )
+    .traces;
+    if noise > 0.0 {
+        add_noise(&mut data, noise, seed);
+    }
+    let ns = fault_true.n_segments();
+    let initial = (vec![0.5; ns], vec![2.5; ns], vec![0.7; ns]);
+    SourceScenario { solver, mu, fault_true, data, initial }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn material_scenario_is_consistent() {
+        let sc = material_scenario(28, 16, 80, 16, 0.05, 1);
+        assert_eq!(sc.mu_true.len(), 28 * 16);
+        assert_eq!(sc.data.len(), 16);
+        assert_eq!(sc.data[0].len(), 80);
+        // The data actually contains signal.
+        let peak = sc.data.iter().flatten().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(peak > 0.0);
+        // Target moduli span the paper's velocity range.
+        let vs_min = sc
+            .mu_true
+            .iter()
+            .map(|&m| (m / sc.section.rho).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        let vs_max = sc
+            .mu_true
+            .iter()
+            .map(|&m| (m / sc.section.rho).sqrt())
+            .fold(0.0f64, f64::max);
+        assert!(vs_min < 1300.0 && vs_max > 3000.0, "{vs_min}..{vs_max}");
+    }
+
+    #[test]
+    fn source_scenario_targets_differ_from_guess() {
+        let sc = source_scenario(20, 12, 100, 12, 0.0, 2);
+        let ns = sc.fault_true.n_segments();
+        assert!(ns >= 3);
+        assert_eq!(sc.initial.0.len(), ns);
+        // Initial guess is genuinely wrong.
+        for (j, p) in sc.fault_true.params.iter().enumerate() {
+            assert!((sc.initial.1[j] - p.rise).abs() > 0.5);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! End-to-end drivers for the SC2003 workflows.
+//!
+//! - [`forward`]: velocity model -> wavelength-adaptive octree mesh ->
+//!   explicit elastic solve -> surface seismograms (the Section 2 pipeline,
+//!   including the scaled Northridge scenario),
+//! - [`inversion`]: the Section 3 scenarios — the 2-D basin cross-section
+//!   material inversion (Fig 3.2) and the fault source inversion (Fig 3.3)
+//!   with pseudo-observed data synthesized from the target models.
+
+pub mod forward;
+pub mod inversion;
+
+pub use forward::{northridge_scenario, run_forward, ForwardOutcome, ForwardScenario};
+pub use inversion::{
+    material_scenario, source_scenario, MaterialScenario, SourceScenario,
+};

@@ -1,0 +1,541 @@
+//! A disk B-tree with `u64` keys and fixed-size values.
+//!
+//! This is the primary-key index of the etree method: octants keyed by their
+//! locational code. The tree is order-preserving (so Morton-ordered octant
+//! scans are sequential leaf walks), supports `floor` queries (point location
+//! = "greatest octant key <= key of the query point") and chained-leaf range
+//! scans. Deletion is lazy (no page merging): the balance step deletes a
+//! coarse octant and immediately inserts its eight children into the same key
+//! neighborhood, so pages stay well filled in practice.
+
+use crate::pager::{Pager, PagerStats, PAGE_SIZE};
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"QETREE01";
+const NIL: u32 = u32::MAX;
+const TAG_INTERNAL: u8 = 0;
+const TAG_LEAF: u8 = 1;
+const HDR_ENTRIES_OFF: usize = 16;
+
+/// Max keys in an internal node: layout is 16-byte header, keys, children.
+const INTERNAL_MAX: usize = (PAGE_SIZE - 16 - 4) / 12;
+
+fn leaf_max(value_size: usize) -> usize {
+    (PAGE_SIZE - 16) / (8 + value_size)
+}
+
+struct Internal {
+    keys: Vec<u64>,
+    children: Vec<u32>,
+}
+
+struct Leaf {
+    prev: u32,
+    next: u32,
+    entries: Vec<(u64, Vec<u8>)>,
+}
+
+enum Node {
+    Internal(Internal),
+    Leaf(Leaf),
+}
+
+/// Disk B-tree. See module docs.
+pub struct BTree {
+    pager: Pager,
+    value_size: usize,
+    root: u32,
+    first_leaf: u32,
+    count: u64,
+}
+
+impl BTree {
+    /// Create a new tree at `path` with values of exactly `value_size` bytes.
+    pub fn create(path: &Path, value_size: usize, cache_pages: usize) -> io::Result<BTree> {
+        assert!(value_size > 0 && leaf_max(value_size) >= 4, "value_size {value_size} too large");
+        let mut pager = Pager::create(path, cache_pages)?;
+        let hdr = pager.allocate()?;
+        debug_assert_eq!(hdr, 0);
+        let root = pager.allocate()?;
+        let mut t = BTree { pager, value_size, root, first_leaf: root, count: 0 };
+        t.write_node(root, &Node::Leaf(Leaf { prev: NIL, next: NIL, entries: Vec::new() }))?;
+        t.write_header()?;
+        Ok(t)
+    }
+
+    /// Open an existing tree.
+    pub fn open(path: &Path, cache_pages: usize) -> io::Result<BTree> {
+        let mut pager = Pager::open(path, cache_pages)?;
+        let hdr = pager.read(0)?;
+        if &hdr[..8] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad etree magic"));
+        }
+        let value_size = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+        let root = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
+        let count = u64::from_le_bytes(hdr[HDR_ENTRIES_OFF..24].try_into().unwrap());
+        let first_leaf = u32::from_le_bytes(hdr[24..28].try_into().unwrap());
+        Ok(BTree { pager, value_size, root, first_leaf, count })
+    }
+
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn value_size(&self) -> usize {
+        self.value_size
+    }
+
+    pub fn io_stats(&self) -> PagerStats {
+        self.pager.stats()
+    }
+
+    fn write_header(&mut self) -> io::Result<()> {
+        let mut page = Box::new([0u8; PAGE_SIZE]);
+        page[..8].copy_from_slice(MAGIC);
+        page[8..12].copy_from_slice(&(self.value_size as u32).to_le_bytes());
+        page[12..16].copy_from_slice(&self.root.to_le_bytes());
+        page[HDR_ENTRIES_OFF..24].copy_from_slice(&self.count.to_le_bytes());
+        page[24..28].copy_from_slice(&self.first_leaf.to_le_bytes());
+        self.pager.write(0, page)
+    }
+
+    /// Flush header and all dirty pages.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.write_header()?;
+        self.pager.flush()
+    }
+
+    fn read_node(&mut self, id: u32) -> io::Result<Node> {
+        let page = self.pager.read(id)?;
+        let nkeys = u16::from_le_bytes(page[2..4].try_into().unwrap()) as usize;
+        match page[0] {
+            TAG_INTERNAL => {
+                let mut keys = Vec::with_capacity(nkeys);
+                let mut children = Vec::with_capacity(nkeys + 1);
+                let koff = 16;
+                let coff = 16 + INTERNAL_MAX * 8;
+                for i in 0..nkeys {
+                    keys.push(u64::from_le_bytes(
+                        page[koff + 8 * i..koff + 8 * i + 8].try_into().unwrap(),
+                    ));
+                }
+                for i in 0..=nkeys {
+                    children.push(u32::from_le_bytes(
+                        page[coff + 4 * i..coff + 4 * i + 4].try_into().unwrap(),
+                    ));
+                }
+                Ok(Node::Internal(Internal { keys, children }))
+            }
+            TAG_LEAF => {
+                let prev = u32::from_le_bytes(page[4..8].try_into().unwrap());
+                let next = u32::from_le_bytes(page[8..12].try_into().unwrap());
+                let stride = 8 + self.value_size;
+                let mut entries = Vec::with_capacity(nkeys);
+                for i in 0..nkeys {
+                    let off = 16 + stride * i;
+                    let key = u64::from_le_bytes(page[off..off + 8].try_into().unwrap());
+                    entries.push((key, page[off + 8..off + stride].to_vec()));
+                }
+                Ok(Node::Leaf(Leaf { prev, next, entries }))
+            }
+            t => Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad node tag {t}"))),
+        }
+    }
+
+    fn write_node(&mut self, id: u32, node: &Node) -> io::Result<()> {
+        let mut page = Box::new([0u8; PAGE_SIZE]);
+        match node {
+            Node::Internal(n) => {
+                assert!(n.keys.len() <= INTERNAL_MAX);
+                assert_eq!(n.children.len(), n.keys.len() + 1);
+                page[0] = TAG_INTERNAL;
+                page[2..4].copy_from_slice(&(n.keys.len() as u16).to_le_bytes());
+                let koff = 16;
+                let coff = 16 + INTERNAL_MAX * 8;
+                for (i, k) in n.keys.iter().enumerate() {
+                    page[koff + 8 * i..koff + 8 * i + 8].copy_from_slice(&k.to_le_bytes());
+                }
+                for (i, c) in n.children.iter().enumerate() {
+                    page[coff + 4 * i..coff + 4 * i + 4].copy_from_slice(&c.to_le_bytes());
+                }
+            }
+            Node::Leaf(n) => {
+                assert!(n.entries.len() <= leaf_max(self.value_size));
+                page[0] = TAG_LEAF;
+                page[2..4].copy_from_slice(&(n.entries.len() as u16).to_le_bytes());
+                page[4..8].copy_from_slice(&n.prev.to_le_bytes());
+                page[8..12].copy_from_slice(&n.next.to_le_bytes());
+                let stride = 8 + self.value_size;
+                for (i, (k, v)) in n.entries.iter().enumerate() {
+                    assert_eq!(v.len(), self.value_size);
+                    let off = 16 + stride * i;
+                    page[off..off + 8].copy_from_slice(&k.to_le_bytes());
+                    page[off + 8..off + stride].copy_from_slice(v);
+                }
+            }
+        }
+        self.pager.write(id, page)
+    }
+
+    /// Child index for `key` in an internal node: first key > `key`.
+    fn child_index(keys: &[u64], key: u64) -> usize {
+        keys.partition_point(|&k| k <= key)
+    }
+
+    /// Insert (or replace). Returns `true` if the key was already present.
+    pub fn insert(&mut self, key: u64, value: &[u8]) -> io::Result<bool> {
+        assert_eq!(value.len(), self.value_size);
+        let (replaced, split) = self.insert_rec(self.root, key, value)?;
+        if let Some((sep, right)) = split {
+            let new_root = self.pager.allocate()?;
+            let node =
+                Node::Internal(Internal { keys: vec![sep], children: vec![self.root, right] });
+            self.write_node(new_root, &node)?;
+            self.root = new_root;
+        }
+        if !replaced {
+            self.count += 1;
+        }
+        Ok(replaced)
+    }
+
+    fn insert_rec(
+        &mut self,
+        page: u32,
+        key: u64,
+        value: &[u8],
+    ) -> io::Result<(bool, Option<(u64, u32)>)> {
+        match self.read_node(page)? {
+            Node::Leaf(mut leaf) => {
+                let replaced = match leaf.entries.binary_search_by_key(&key, |e| e.0) {
+                    Ok(i) => {
+                        leaf.entries[i].1 = value.to_vec();
+                        true
+                    }
+                    Err(i) => {
+                        leaf.entries.insert(i, (key, value.to_vec()));
+                        false
+                    }
+                };
+                if leaf.entries.len() <= leaf_max(self.value_size) {
+                    self.write_node(page, &Node::Leaf(leaf))?;
+                    return Ok((replaced, None));
+                }
+                // Split: right half moves to a fresh page.
+                let mid = leaf.entries.len() / 2;
+                let right_entries = leaf.entries.split_off(mid);
+                let sep = right_entries[0].0;
+                let right_id = self.pager.allocate()?;
+                let right =
+                    Leaf { prev: page, next: leaf.next, entries: right_entries };
+                if right.next != NIL {
+                    if let Node::Leaf(mut nn) = self.read_node(right.next)? {
+                        nn.prev = right_id;
+                        self.write_node(right.next, &Node::Leaf(nn))?;
+                    }
+                }
+                leaf.next = right_id;
+                self.write_node(right_id, &Node::Leaf(right))?;
+                self.write_node(page, &Node::Leaf(leaf))?;
+                Ok((replaced, Some((sep, right_id))))
+            }
+            Node::Internal(mut node) => {
+                let ci = Self::child_index(&node.keys, key);
+                let (replaced, split) = self.insert_rec(node.children[ci], key, value)?;
+                let Some((sep, right)) = split else {
+                    return Ok((replaced, None));
+                };
+                node.keys.insert(ci, sep);
+                node.children.insert(ci + 1, right);
+                if node.keys.len() <= INTERNAL_MAX {
+                    self.write_node(page, &Node::Internal(node))?;
+                    return Ok((replaced, None));
+                }
+                // Split internal: middle key is promoted (not kept).
+                let mid = node.keys.len() / 2;
+                let promote = node.keys[mid];
+                let right_keys = node.keys.split_off(mid + 1);
+                node.keys.pop();
+                let right_children = node.children.split_off(mid + 1);
+                let right_id = self.pager.allocate()?;
+                self.write_node(
+                    right_id,
+                    &Node::Internal(Internal { keys: right_keys, children: right_children }),
+                )?;
+                self.write_node(page, &Node::Internal(node))?;
+                Ok((replaced, Some((promote, right_id))))
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal(n) => page = n.children[Self::child_index(&n.keys, key)],
+                Node::Leaf(leaf) => {
+                    return Ok(leaf
+                        .entries
+                        .binary_search_by_key(&key, |e| e.0)
+                        .ok()
+                        .map(|i| leaf.entries[i].1.clone()));
+                }
+            }
+        }
+    }
+
+    /// Remove a key. Returns `true` if it was present. Lazy: pages are never
+    /// merged, which suits the etree balance workload (delete parent, insert
+    /// eight children in the same neighborhood).
+    pub fn remove(&mut self, key: u64) -> io::Result<bool> {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal(n) => page = n.children[Self::child_index(&n.keys, key)],
+                Node::Leaf(mut leaf) => {
+                    let Ok(i) = leaf.entries.binary_search_by_key(&key, |e| e.0) else {
+                        return Ok(false);
+                    };
+                    leaf.entries.remove(i);
+                    self.write_node(page, &Node::Leaf(leaf))?;
+                    self.count -= 1;
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// Greatest entry with key `<= key` (point location for linear octrees).
+    pub fn floor(&mut self, key: u64) -> io::Result<Option<(u64, Vec<u8>)>> {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal(n) => page = n.children[Self::child_index(&n.keys, key)],
+                Node::Leaf(leaf) => {
+                    let i = leaf.entries.partition_point(|e| e.0 <= key);
+                    if i > 0 {
+                        return Ok(Some(leaf.entries[i - 1].clone()));
+                    }
+                    // All entries in this leaf are > key (or it is empty):
+                    // walk left through the chain.
+                    let mut prev = leaf.prev;
+                    while prev != NIL {
+                        if let Node::Leaf(l) = self.read_node(prev)? {
+                            if let Some(e) = l.entries.last() {
+                                return Ok(Some(e.clone()));
+                            }
+                            prev = l.prev;
+                        } else {
+                            unreachable!("leaf chain points at internal node");
+                        }
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// In-order scan of all entries with `lo <= key <= hi`, via leaf chaining.
+    pub fn range_scan(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        mut f: impl FnMut(u64, &[u8]),
+    ) -> io::Result<()> {
+        // Find the leaf that would contain `lo`.
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal(n) => page = n.children[Self::child_index(&n.keys, lo)],
+                Node::Leaf(_) => break,
+            }
+        }
+        let mut current = page;
+        while current != NIL {
+            let Node::Leaf(leaf) = self.read_node(current)? else {
+                unreachable!("leaf chain points at internal node");
+            };
+            for (k, v) in &leaf.entries {
+                if *k < lo {
+                    continue;
+                }
+                if *k > hi {
+                    return Ok(());
+                }
+                f(*k, v);
+            }
+            current = leaf.next;
+        }
+        Ok(())
+    }
+
+    /// Scan everything in key order.
+    pub fn scan_all(&mut self, f: impl FnMut(u64, &[u8])) -> io::Result<()> {
+        self.range_scan(0, u64::MAX, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("quake-etree-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("bt-{}-{}-{}", name, std::process::id(), rand_suffix()))
+    }
+
+    fn rand_suffix() -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+    }
+
+    fn val(k: u64) -> Vec<u8> {
+        let mut v = vec![0u8; 16];
+        v[..8].copy_from_slice(&k.to_le_bytes());
+        v[8..].copy_from_slice(&(!k).to_le_bytes());
+        v
+    }
+
+    #[test]
+    fn insert_get_thousands_with_splits() {
+        let path = tmp("bulk");
+        let mut t = BTree::create(&path, 16, 16).unwrap();
+        // Shuffled insertion order to force non-append splits.
+        let n = 20_000u64;
+        let mut keys: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for (i, &k) in keys.iter().enumerate() {
+            // Insert in a scrambled order.
+            let k = keys[(i * 7919) % keys.len()];
+            let _ = k;
+            t.insert(keys[(i * 7919) % keys.len()], &val(keys[(i * 7919) % keys.len()])).unwrap();
+        }
+        assert_eq!(t.len(), keys.len() as u64);
+        for &k in keys.iter().step_by(97) {
+            assert_eq!(t.get(k).unwrap(), Some(val(k)));
+        }
+        assert_eq!(t.get(keys[0].wrapping_add(1)).unwrap(), None);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn scan_is_sorted_and_complete() {
+        let path = tmp("scan");
+        let mut t = BTree::create(&path, 16, 16).unwrap();
+        let keys: Vec<u64> = (0..5000u64).map(|i| i * 3 + 1).rev().collect();
+        for &k in &keys {
+            t.insert(k, &val(k)).unwrap();
+        }
+        let mut seen = Vec::new();
+        t.scan_all(|k, v| {
+            assert_eq!(v, &val(k)[..]);
+            seen.push(k);
+        })
+        .unwrap();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+        // Bounded range.
+        let mut part = Vec::new();
+        t.range_scan(100, 200, |k, _| part.push(k)).unwrap();
+        assert_eq!(part, (100..=200).filter(|k| k % 3 == 1).collect::<Vec<_>>());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn floor_semantics() {
+        let path = tmp("floor");
+        let mut t = BTree::create(&path, 16, 16).unwrap();
+        for k in [10u64, 20, 30, 4000, 50_000] {
+            t.insert(k, &val(k)).unwrap();
+        }
+        assert_eq!(t.floor(9).unwrap(), None);
+        assert_eq!(t.floor(10).unwrap().unwrap().0, 10);
+        assert_eq!(t.floor(29).unwrap().unwrap().0, 20);
+        assert_eq!(t.floor(u64::MAX).unwrap().unwrap().0, 50_000);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn remove_then_reinsert() {
+        let path = tmp("remove");
+        let mut t = BTree::create(&path, 16, 16).unwrap();
+        for k in 0..1000u64 {
+            t.insert(k, &val(k)).unwrap();
+        }
+        for k in (0..1000u64).step_by(2) {
+            assert!(t.remove(k).unwrap());
+        }
+        assert!(!t.remove(0).unwrap());
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.get(2).unwrap(), None);
+        assert_eq!(t.get(3).unwrap(), Some(val(3)));
+        // floor skips over emptied regions.
+        assert_eq!(t.floor(2).unwrap().unwrap().0, 1);
+        t.insert(2, &val(2)).unwrap();
+        assert_eq!(t.get(2).unwrap(), Some(val(2)));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let path = tmp("persist");
+        {
+            let mut t = BTree::create(&path, 16, 16).unwrap();
+            for k in 0..3000u64 {
+                t.insert(k * 11, &val(k * 11)).unwrap();
+            }
+            t.flush().unwrap();
+        }
+        let mut t = BTree::open(&path, 16).unwrap();
+        assert_eq!(t.len(), 3000);
+        assert_eq!(t.value_size(), 16);
+        assert_eq!(t.get(11 * 1234).unwrap(), Some(val(11 * 1234)));
+        assert_eq!(t.floor(10).unwrap().unwrap().0, 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_differential_against_btreemap(ops in proptest::collection::vec((0u8..3, 0u64..500), 1..400)) {
+            let path = tmp("prop");
+            let mut t = BTree::create(&path, 16, 8).unwrap();
+            let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+            for (op, k) in ops {
+                match op {
+                    0 => {
+                        t.insert(k, &val(k)).unwrap();
+                        model.insert(k, val(k));
+                    }
+                    1 => {
+                        let got = t.remove(k).unwrap();
+                        let expect = model.remove(&k).is_some();
+                        prop_assert_eq!(got, expect);
+                    }
+                    _ => {
+                        let got = t.floor(k).unwrap().map(|(fk, _)| fk);
+                        let expect = model.range(..=k).next_back().map(|(&fk, _)| fk);
+                        prop_assert_eq!(got, expect);
+                    }
+                }
+                prop_assert_eq!(t.len(), model.len() as u64);
+            }
+            let mut scanned = Vec::new();
+            t.scan_all(|k, _| scanned.push(k)).unwrap();
+            let expect: Vec<u64> = model.keys().copied().collect();
+            prop_assert_eq!(scanned, expect);
+            std::fs::remove_file(path).unwrap();
+        }
+    }
+}

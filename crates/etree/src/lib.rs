@@ -1,0 +1,29 @@
+//! Etree: out-of-core octree storage and mesh-generation pipeline.
+//!
+//! The SC2003 meshes (10^8..10^9 elements) were generated on desktop machines
+//! by keeping the octree on disk: octants are keyed by their locational code
+//! (Morton code + level) and stored in a B-tree, "the most commonly used
+//! primary key indexing structure in database systems". This crate rebuilds
+//! that stack:
+//!
+//! - [`pager`]: a 4 KiB-paged file with an LRU page cache and I/O statistics,
+//! - [`btree`]: a disk B-tree with fixed-size values, floor/range queries and
+//!   leaf chaining (keys are the `u64` locational codes of `quake-octree`),
+//! - [`store`]: the [`store::OctantStore`] abstraction with both the disk
+//!   backend and an in-memory backend (for tests and for differential
+//!   testing of the disk engine),
+//! - [`pipeline`]: the three etree steps — **construct** (auto-navigation
+//!   refinement writing leaves to the store), **balance** (block-local 2-to-1
+//!   enforcement followed by a boundary pass, after the paper's *local
+//!   balancing*), and **transform** (scan leaves in Morton order, emit the
+//!   element and node databases, classifying hanging nodes).
+
+pub mod btree;
+pub mod pager;
+pub mod pipeline;
+pub mod store;
+
+pub use btree::BTree;
+pub use pager::{Pager, PagerStats, PAGE_SIZE};
+pub use pipeline::{ElementRec, EtreePipeline, MeshDatabases, NodeRec, PipelineStats};
+pub use store::{DiskStore, MaterialRec, MemStore, OctantStore};

@@ -1,0 +1,254 @@
+//! A paged file with an LRU write-back cache.
+//!
+//! All disk structures in this crate (the B-tree, the element/node databases)
+//! sit on top of this pager. Pages are 4 KiB; the cache holds a configurable
+//! number of pages and tracks hit/miss/read/write statistics so the etree
+//! benchmarks can report the I/O saved by locality (the whole point of
+//! Morton-ordered keys and local balancing).
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// I/O statistics of a pager.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub evictions: u64,
+}
+
+struct CachedPage {
+    data: Box<[u8; PAGE_SIZE]>,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// Paged file with LRU write-back caching.
+pub struct Pager {
+    file: File,
+    cache: HashMap<u32, CachedPage>,
+    capacity: usize,
+    clock: u64,
+    page_count: u32,
+    stats: PagerStats,
+}
+
+impl Pager {
+    /// Create (truncating) a pager at `path` with a cache of `cache_pages`.
+    pub fn create(path: &Path, cache_pages: usize) -> io::Result<Pager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Pager {
+            file,
+            cache: HashMap::new(),
+            capacity: cache_pages.max(8),
+            clock: 0,
+            page_count: 0,
+            stats: PagerStats::default(),
+        })
+    }
+
+    /// Open an existing pager file.
+    pub fn open(path: &Path, cache_pages: usize) -> io::Result<Pager> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("file length {len} is not a multiple of the page size"),
+            ));
+        }
+        Ok(Pager {
+            file,
+            cache: HashMap::new(),
+            capacity: cache_pages.max(8),
+            clock: 0,
+            page_count: (len / PAGE_SIZE as u64) as u32,
+            stats: PagerStats::default(),
+        })
+    }
+
+    /// Number of pages in the file (including cached, not-yet-flushed ones).
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    pub fn stats(&self) -> PagerStats {
+        self.stats
+    }
+
+    /// Allocate a fresh zeroed page, returning its id.
+    pub fn allocate(&mut self) -> io::Result<u32> {
+        let id = self.page_count;
+        self.page_count += 1;
+        self.install(id, Box::new([0u8; PAGE_SIZE]), true)?;
+        Ok(id)
+    }
+
+    /// Read a page (through the cache) into a caller-owned buffer.
+    pub fn read(&mut self, id: u32) -> io::Result<Box<[u8; PAGE_SIZE]>> {
+        assert!(id < self.page_count, "page {id} out of range ({})", self.page_count);
+        self.clock += 1;
+        if let Some(p) = self.cache.get_mut(&id) {
+            p.last_used = self.clock;
+            self.stats.cache_hits += 1;
+            return Ok(p.data.clone());
+        }
+        self.stats.cache_misses += 1;
+        self.stats.disk_reads += 1;
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        self.file.read_exact_at(&mut buf[..], id as u64 * PAGE_SIZE as u64)?;
+        let out = buf.clone();
+        self.install(id, buf, false)?;
+        Ok(out)
+    }
+
+    /// Write a page (into the cache; flushed on eviction or [`Pager::flush`]).
+    pub fn write(&mut self, id: u32, data: Box<[u8; PAGE_SIZE]>) -> io::Result<()> {
+        assert!(id < self.page_count, "page {id} out of range ({})", self.page_count);
+        self.clock += 1;
+        self.install(id, data, true)
+    }
+
+    fn install(&mut self, id: u32, data: Box<[u8; PAGE_SIZE]>, dirty: bool) -> io::Result<()> {
+        self.clock += 1;
+        if let Some(existing) = self.cache.get_mut(&id) {
+            existing.data = data;
+            existing.dirty |= dirty;
+            existing.last_used = self.clock;
+            return Ok(());
+        }
+        if self.cache.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        self.cache.insert(id, CachedPage { data, dirty, last_used: self.clock });
+        Ok(())
+    }
+
+    fn evict_one(&mut self) -> io::Result<()> {
+        let victim = self
+            .cache
+            .iter()
+            .min_by_key(|(_, p)| p.last_used)
+            .map(|(&id, _)| id)
+            .expect("evict_one called on empty cache");
+        let page = self.cache.remove(&victim).unwrap();
+        self.stats.evictions += 1;
+        if page.dirty {
+            self.stats.disk_writes += 1;
+            self.file.write_all_at(&page.data[..], victim as u64 * PAGE_SIZE as u64)?;
+        }
+        Ok(())
+    }
+
+    /// Write all dirty pages to disk (cache contents are kept).
+    pub fn flush(&mut self) -> io::Result<()> {
+        // Ensure the file is long enough even if tail pages are clean zeros.
+        self.file.set_len(self.page_count as u64 * PAGE_SIZE as u64)?;
+        let mut dirty: Vec<u32> = self
+            .cache
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort_unstable();
+        for id in dirty {
+            let p = self.cache.get_mut(&id).unwrap();
+            self.stats.disk_writes += 1;
+            self.file.write_all_at(&p.data[..], id as u64 * PAGE_SIZE as u64)?;
+            p.dirty = false;
+        }
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+impl Drop for Pager {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("quake-etree-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{}", name, std::process::id()))
+    }
+
+    #[test]
+    fn pages_roundtrip_through_cache_and_disk() {
+        let path = tmp("roundtrip");
+        let mut pager = Pager::create(&path, 8).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..32u32 {
+            let id = pager.allocate().unwrap();
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            page[0] = i as u8;
+            page[PAGE_SIZE - 1] = (i * 3) as u8;
+            pager.write(id, page).unwrap();
+            ids.push(id);
+        }
+        // With capacity 8, most pages were evicted to disk; read them back.
+        for (i, &id) in ids.iter().enumerate() {
+            let page = pager.read(id).unwrap();
+            assert_eq!(page[0], i as u8);
+            assert_eq!(page[PAGE_SIZE - 1], (i * 3) as u8);
+        }
+        assert!(pager.stats().evictions > 0);
+        assert!(pager.stats().disk_reads > 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn flush_then_reopen_preserves_data() {
+        let path = tmp("reopen");
+        {
+            let mut pager = Pager::create(&path, 8).unwrap();
+            for i in 0..10u32 {
+                let id = pager.allocate().unwrap();
+                let mut page = Box::new([0u8; PAGE_SIZE]);
+                page[7] = 100 + i as u8;
+                pager.write(id, page).unwrap();
+            }
+            pager.flush().unwrap();
+        }
+        let mut pager = Pager::open(&path, 8).unwrap();
+        assert_eq!(pager.page_count(), 10);
+        for i in 0..10u32 {
+            assert_eq!(pager.read(i).unwrap()[7], 100 + i as u8);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn hot_page_stays_cached() {
+        let path = tmp("hot");
+        let mut pager = Pager::create(&path, 8).unwrap();
+        let hot = pager.allocate().unwrap();
+        for _ in 0..40 {
+            let id = pager.allocate().unwrap();
+            pager.write(id, Box::new([1u8; PAGE_SIZE])).unwrap();
+            let _ = pager.read(hot).unwrap(); // keep it recently used
+        }
+        let before = pager.stats().disk_reads;
+        let _ = pager.read(hot).unwrap();
+        assert_eq!(pager.stats().disk_reads, before, "hot page should not hit disk");
+        std::fs::remove_file(path).unwrap();
+    }
+}

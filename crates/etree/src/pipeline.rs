@@ -1,0 +1,536 @@
+//! The etree mesh-generation pipeline: construct -> balance -> transform.
+//!
+//! Mirrors Fig 2.1 of the paper. All three stages run against an
+//! [`OctantStore`], so the same code drives the in-memory backend and the
+//! out-of-core disk backend; with the disk backend the largest mesh is
+//! limited by disk space, not RAM (the paper generated a 1.2-billion-element
+//! LA Basin mesh this way).
+//!
+//! - **construct**: auto-navigation — the traversal logic lives here, the
+//!   application only supplies "should this octant subdivide?" plus the
+//!   material sampler.
+//! - **balance**: the paper's *local balancing*: enforce 2-to-1 inside each
+//!   block of a regular block partition (pure intra-block key-range work,
+//!   cache-friendly on disk), then a boundary pass for the inter-block
+//!   constraints.
+//! - **transform**: scan the leaves in Morton order, number the nodes,
+//!   classify hanging nodes, and emit the element and node databases.
+
+use crate::btree::BTree;
+use crate::store::{MaterialRec, OctantStore};
+use quake_octree::morton::{morton_encode, GRID};
+use quake_octree::{ripple, sample_point, BalanceMode, LinearOctree, Octant, MAX_LEVEL};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Stage statistics of a pipeline run (Fig 2.1 / the etree table).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineStats {
+    pub constructed_octants: u64,
+    pub after_balance_octants: u64,
+    pub boundary_queue_len: u64,
+    pub elements: u64,
+    pub nodes: u64,
+    pub hanging_nodes: u64,
+    pub construct_secs: f64,
+    pub balance_secs: f64,
+    pub transform_secs: f64,
+}
+
+/// One element record of the element database.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ElementRec {
+    pub octant: Octant,
+    pub nodes: [u64; 8],
+    pub material: MaterialRec,
+}
+
+/// One node record of the node database.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeRec {
+    /// Grid coordinates (0..=GRID on each axis).
+    pub coords: [u32; 3],
+    pub id: u64,
+    pub hanging: bool,
+}
+
+/// Paths and counts of the transform output.
+#[derive(Clone, Debug)]
+pub struct MeshDatabases {
+    pub element_db: PathBuf,
+    pub node_db: PathBuf,
+    pub n_elements: u64,
+    pub n_nodes: u64,
+    pub n_hanging: u64,
+}
+
+const ELEM_REC_SIZE: usize = 8 + 64 + MaterialRec::ENCODED_SIZE;
+const NODE_REC_SIZE: usize = 8 + 8 + 8; // morton, id, flags(+pad)
+
+impl MeshDatabases {
+    /// Stream the element database in Morton order.
+    pub fn read_elements(&self) -> io::Result<impl Iterator<Item = io::Result<ElementRec>>> {
+        let mut r = BufReader::new(std::fs::File::open(&self.element_db)?);
+        let n = self.n_elements;
+        let mut i = 0u64;
+        Ok(std::iter::from_fn(move || {
+            if i >= n {
+                return None;
+            }
+            i += 1;
+            let mut buf = [0u8; ELEM_REC_SIZE];
+            Some(r.read_exact(&mut buf).map(|()| {
+                let key = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                let mut nodes = [0u64; 8];
+                for (j, n) in nodes.iter_mut().enumerate() {
+                    *n = u64::from_le_bytes(buf[8 + 8 * j..16 + 8 * j].try_into().unwrap());
+                }
+                let material = MaterialRec::decode(&buf[72..72 + MaterialRec::ENCODED_SIZE]);
+                ElementRec { octant: Octant::from_key(key), nodes, material }
+            }))
+        }))
+    }
+
+    /// Stream the node database in Morton order.
+    pub fn read_nodes(&self) -> io::Result<impl Iterator<Item = io::Result<NodeRec>>> {
+        let mut r = BufReader::new(std::fs::File::open(&self.node_db)?);
+        let n = self.n_nodes;
+        let mut i = 0u64;
+        Ok(std::iter::from_fn(move || {
+            if i >= n {
+                return None;
+            }
+            i += 1;
+            let mut buf = [0u8; NODE_REC_SIZE];
+            Some(r.read_exact(&mut buf).map(|()| {
+                let m = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                let id = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+                let hanging = buf[16] != 0;
+                let (x, y, z) = quake_octree::morton_decode(m);
+                NodeRec { coords: [x, y, z], id, hanging }
+            }))
+        }))
+    }
+}
+
+/// Configuration of an etree pipeline run.
+#[derive(Clone, Copy, Debug)]
+pub struct EtreePipeline {
+    pub mode: BalanceMode,
+    /// `8^block_level` blocks in the local-balancing step.
+    pub block_level: u8,
+}
+
+impl Default for EtreePipeline {
+    fn default() -> Self {
+        EtreePipeline { mode: BalanceMode::Full, block_level: 1 }
+    }
+}
+
+impl EtreePipeline {
+    /// Construct step: auto-navigation refinement, leaves written to `store`.
+    pub fn construct<S: OctantStore>(
+        &self,
+        store: &mut S,
+        mut refine: impl FnMut(&Octant) -> bool,
+        mut material: impl FnMut(&Octant) -> MaterialRec,
+        stats: &mut PipelineStats,
+    ) -> io::Result<()> {
+        let t0 = Instant::now();
+        let mut stack = vec![Octant::ROOT];
+        while let Some(o) = stack.pop() {
+            if o.level < MAX_LEVEL && refine(&o) {
+                stack.extend(o.children());
+            } else {
+                store.insert(o, material(&o))?;
+                stats.constructed_octants += 1;
+            }
+        }
+        stats.construct_secs = t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Balance step: local balancing (per-block internal pass + boundary
+    /// pass). New octants created by splitting get their material from
+    /// `material`.
+    pub fn balance<S: OctantStore>(
+        &self,
+        store: &mut S,
+        mut material: impl FnMut(&Octant) -> MaterialRec,
+        stats: &mut PipelineStats,
+    ) -> io::Result<()> {
+        let t0 = Instant::now();
+        let blocks = LinearOctree::uniform(self.block_level);
+
+        // Internal pass: per block, load its key range, ripple in memory
+        // (skipping constraints that cross the block boundary), write diffs.
+        for block in blocks.leaves() {
+            let lo = block.key();
+            let hi = max_descendant_key(block);
+            let mut members: BTreeMap<u64, Octant> = BTreeMap::new();
+            store.scan_range(lo, hi, &mut |o, _| {
+                members.insert(o.key(), o);
+            })?;
+            members.retain(|_, o| block.contains(o));
+            if members.is_empty() {
+                continue;
+            }
+            let before: Vec<u64> = members.keys().copied().collect();
+            let queue: VecDeque<Octant> = members.values().copied().collect();
+            let mut map = members;
+            ripple(&mut map, queue, self.mode, Some(*block));
+            // Apply the diff to the store.
+            for k in &before {
+                if !map.contains_key(k) {
+                    store.remove(&Octant::from_key(*k))?;
+                }
+            }
+            for (k, o) in &map {
+                if before.binary_search(k).is_err() {
+                    store.insert(*o, material(o))?;
+                }
+            }
+        }
+
+        // Boundary pass: only leaves whose constraint samples cross a block
+        // boundary can still violate; ripple them against the whole store.
+        let dirs = self.mode.directions();
+        let block_size = 1u32 << (MAX_LEVEL - self.block_level);
+        let mut queue: VecDeque<Octant> = VecDeque::new();
+        let mut all: Vec<Octant> = Vec::new();
+        store.scan_all(&mut |o, _| all.push(o))?;
+        for o in all {
+            let crosses = dirs.iter().any(|&d| {
+                sample_point(&o, d).is_some_and(|p| {
+                    (p.0 / block_size, p.1 / block_size, p.2 / block_size)
+                        != (o.x / block_size, o.y / block_size, o.z / block_size)
+                })
+            });
+            if crosses {
+                queue.push_back(o);
+            }
+        }
+        stats.boundary_queue_len = queue.len() as u64;
+        ripple_store(store, queue, self.mode, &mut material)?;
+        stats.after_balance_octants = store.len();
+        stats.balance_secs = t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Transform step: derive the element and node databases.
+    ///
+    /// `scratch_dir` receives three files: the node-id B-tree (an index used
+    /// during the build), the element DB and the node DB.
+    pub fn transform<S: OctantStore>(
+        &self,
+        store: &mut S,
+        scratch_dir: &Path,
+        stats: &mut PipelineStats,
+    ) -> io::Result<MeshDatabases> {
+        let t0 = Instant::now();
+        std::fs::create_dir_all(scratch_dir)?;
+        let node_index_path = scratch_dir.join("node_index.btree");
+        let element_db = scratch_dir.join("elements.db");
+        let node_db = scratch_dir.join("nodes.db");
+
+        // Pass 1: register every element corner in the node index.
+        let mut node_index = BTree::create(&node_index_path, 8, 256)?;
+        let mut leaves: Vec<(Octant, MaterialRec)> = Vec::new();
+        store.scan_all(&mut |o, m| leaves.push((o, m)))?;
+        for (o, _) in &leaves {
+            for c in 0..8usize {
+                let k = node_key(corner_coords(o, c));
+                node_index.insert(k, &0u64.to_le_bytes())?;
+            }
+        }
+        let n_nodes = node_index.len();
+
+        // Pass 2: assign ids in Morton order, classify hanging nodes, emit
+        // the node DB, and record ids back into the index for pass 3.
+        let mut node_keys: Vec<u64> = Vec::with_capacity(n_nodes as usize);
+        node_index.scan_all(|k, _| node_keys.push(k))?;
+        let mut node_file = BufWriter::new(std::fs::File::create(&node_db)?);
+        let mut n_hanging = 0u64;
+        for (id, &k) in node_keys.iter().enumerate() {
+            node_index.insert(k, &(id as u64).to_le_bytes())?;
+            let (x, y, z) = quake_octree::morton_decode(k);
+            let hanging = is_hanging(store, [x, y, z])?;
+            if hanging {
+                n_hanging += 1;
+            }
+            let mut rec = [0u8; NODE_REC_SIZE];
+            rec[..8].copy_from_slice(&k.to_le_bytes());
+            rec[8..16].copy_from_slice(&(id as u64).to_le_bytes());
+            rec[16] = hanging as u8;
+            node_file.write_all(&rec)?;
+        }
+        node_file.flush()?;
+
+        // Pass 3: emit element records with resolved node ids.
+        let mut elem_file = BufWriter::new(std::fs::File::create(&element_db)?);
+        for (o, m) in &leaves {
+            let mut rec = [0u8; ELEM_REC_SIZE];
+            rec[..8].copy_from_slice(&o.key().to_le_bytes());
+            for c in 0..8usize {
+                let k = node_key(corner_coords(o, c));
+                let id = node_index
+                    .get(k)?
+                    .expect("element corner missing from node index");
+                rec[8 + 8 * c..16 + 8 * c].copy_from_slice(&id);
+            }
+            rec[72..72 + MaterialRec::ENCODED_SIZE].copy_from_slice(&m.encode());
+            elem_file.write_all(&rec)?;
+        }
+        elem_file.flush()?;
+
+        stats.elements = leaves.len() as u64;
+        stats.nodes = n_nodes;
+        stats.hanging_nodes = n_hanging;
+        stats.transform_secs = t0.elapsed().as_secs_f64();
+        Ok(MeshDatabases {
+            element_db,
+            node_db,
+            n_elements: leaves.len() as u64,
+            n_nodes,
+            n_hanging,
+        })
+    }
+}
+
+/// Grid coordinates of corner `c` (bit-coded) of an octant.
+fn corner_coords(o: &Octant, c: usize) -> [u32; 3] {
+    let s = o.size();
+    [
+        o.x + if c & 1 != 0 { s } else { 0 },
+        o.y + if c & 2 != 0 { s } else { 0 },
+        o.z + if c & 4 != 0 { s } else { 0 },
+    ]
+}
+
+/// Morton key of a node grid point (coordinates may equal GRID).
+fn node_key(c: [u32; 3]) -> u64 {
+    morton_encode(c[0], c[1], c[2])
+}
+
+/// A node is hanging iff some leaf incident to it does not have it as one of
+/// its corners (then the node sits on that leaf's edge or face interior).
+fn is_hanging<S: OctantStore>(store: &mut S, p: [u32; 3]) -> io::Result<bool> {
+    for dz in 0..2u32 {
+        for dy in 0..2u32 {
+            for dx in 0..2u32 {
+                // Probe the cell whose far corner (in this octant direction)
+                // is p: its interior-adjacent grid point is p - (dx,dy,dz).
+                if (dx > p[0]) || (dy > p[1]) || (dz > p[2]) {
+                    continue;
+                }
+                let q = (p[0] - dx, p[1] - dy, p[2] - dz);
+                if q.0 >= GRID || q.1 >= GRID || q.2 >= GRID {
+                    continue;
+                }
+                let Some((leaf, _)) = store.find_containing(q)? else { continue };
+                let s = leaf.size();
+                let is_corner = (p[0] == leaf.x || p[0] == leaf.x + s)
+                    && (p[1] == leaf.y || p[1] == leaf.y + s)
+                    && (p[2] == leaf.z || p[2] == leaf.z + s);
+                if !is_corner {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Ripple 2-to-1 enforcement running directly against a store.
+fn ripple_store<S: OctantStore>(
+    store: &mut S,
+    mut queue: VecDeque<Octant>,
+    mode: BalanceMode,
+    material: &mut impl FnMut(&Octant) -> MaterialRec,
+) -> io::Result<()> {
+    let dirs = mode.directions();
+    while let Some(o) = queue.pop_front() {
+        if store.get(&o)?.is_none() {
+            continue;
+        }
+        if o.level <= 1 {
+            continue;
+        }
+        for &d in &dirs {
+            let Some(p) = sample_point(&o, d) else { continue };
+            loop {
+                let (n, _) = store
+                    .find_containing(p)?
+                    .expect("complete octree must cover sample point");
+                if n.level + 1 >= o.level {
+                    break;
+                }
+                store.remove(&n)?;
+                for c in n.children() {
+                    store.insert(c, material(&c))?;
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Largest key of any descendant of `o`.
+fn max_descendant_key(o: &Octant) -> u64 {
+    let s = o.size();
+    Octant::new(o.x + s - 1, o.y + s - 1, o.z + s - 1, MAX_LEVEL).key()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{DiskStore, MemStore};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("quake-etree-tests")
+            .join(format!("pipe-{}-{}", name, std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn mat(o: &Octant) -> MaterialRec {
+        MaterialRec { vp: 2000.0, vs: 1000.0 + o.level as f64, rho: 2200.0 }
+    }
+
+    /// One refined child of the root: 15 elements, 46 nodes, 12 hanging.
+    fn one_refined<S: OctantStore>(store: &mut S) -> PipelineStats {
+        let p = EtreePipeline::default();
+        let mut stats = PipelineStats::default();
+        p.construct(
+            store,
+            |o| o.level == 0 || (o.level == 1 && o.x == 0 && o.y == 0 && o.z == 0),
+            mat,
+            &mut stats,
+        )
+        .unwrap();
+        stats
+    }
+
+    #[test]
+    fn transform_counts_on_known_two_level_mesh() {
+        let dir = tmpdir("known");
+        let mut store = MemStore::new();
+        let mut stats = one_refined(&mut store);
+        assert_eq!(stats.constructed_octants, 15);
+        let p = EtreePipeline::default();
+        let db = p.transform(&mut store, &dir, &mut stats).unwrap();
+        assert_eq!(db.n_elements, 15);
+        assert_eq!(db.n_nodes, 46);
+        assert_eq!(db.n_hanging, 12);
+        // Element records resolve to valid, distinct corner node ids.
+        let mut elem_count = 0;
+        for e in db.read_elements().unwrap() {
+            let e = e.unwrap();
+            let mut ids = e.nodes.to_vec();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 8, "element has duplicate corner nodes");
+            assert!(ids.iter().all(|&i| i < db.n_nodes));
+            elem_count += 1;
+        }
+        assert_eq!(elem_count, 15);
+        // Node ids are sequential in Morton order.
+        let nodes: Vec<NodeRec> = db.read_nodes().unwrap().map(|n| n.unwrap()).collect();
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id, i as u64);
+        }
+        assert_eq!(nodes.iter().filter(|n| n.hanging).count(), 12);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn uniform_mesh_has_no_hanging_nodes() {
+        let dir = tmpdir("uniform");
+        let mut store = MemStore::new();
+        let p = EtreePipeline::default();
+        let mut stats = PipelineStats::default();
+        p.construct(&mut store, |o| o.level < 2, mat, &mut stats).unwrap();
+        p.balance(&mut store, mat, &mut stats).unwrap();
+        let db = p.transform(&mut store, &dir, &mut stats).unwrap();
+        assert_eq!(db.n_elements, 64);
+        assert_eq!(db.n_nodes, 125);
+        assert_eq!(db.n_hanging, 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn balance_on_store_matches_in_core_balance() {
+        // Center-refined tree (genuinely unbalanced, crossing all blocks).
+        let half = 1u32 << (MAX_LEVEL - 1);
+        let refine = |o: &Octant| o.level < 5 && o.contains_point(half, half, half);
+
+        let mut store = MemStore::new();
+        let p = EtreePipeline { mode: BalanceMode::Full, block_level: 1 };
+        let mut stats = PipelineStats::default();
+        p.construct(&mut store, refine, mat, &mut stats).unwrap();
+        p.balance(&mut store, mat, &mut stats).unwrap();
+        let mut got: Vec<Octant> = Vec::new();
+        store.scan_all(&mut |o, _| got.push(o)).unwrap();
+
+        let mut reference = LinearOctree::build(refine);
+        reference.balance(BalanceMode::Full);
+        assert_eq!(got, reference.leaves());
+        assert_eq!(stats.after_balance_octants, reference.len() as u64);
+        assert!(stats.boundary_queue_len > 0, "center refinement must cross blocks");
+    }
+
+    #[test]
+    fn disk_pipeline_matches_memory_pipeline() {
+        let dir = tmpdir("diskmem");
+        let half = 1u32 << (MAX_LEVEL - 1);
+        let refine = |o: &Octant| o.level < 4 && o.contains_point(half, half, half);
+        let p = EtreePipeline::default();
+
+        let mut mem = MemStore::new();
+        let mut s1 = PipelineStats::default();
+        p.construct(&mut mem, refine, mat, &mut s1).unwrap();
+        p.balance(&mut mem, mat, &mut s1).unwrap();
+        let db_mem = p.transform(&mut mem, &dir.join("mem"), &mut s1).unwrap();
+
+        let mut disk = DiskStore::create(&dir.join("octants.btree"), 64).unwrap();
+        let mut s2 = PipelineStats::default();
+        p.construct(&mut disk, refine, mat, &mut s2).unwrap();
+        p.balance(&mut disk, mat, &mut s2).unwrap();
+        let db_disk = p.transform(&mut disk, &dir.join("disk"), &mut s2).unwrap();
+
+        assert_eq!(db_mem.n_elements, db_disk.n_elements);
+        assert_eq!(db_mem.n_nodes, db_disk.n_nodes);
+        assert_eq!(db_mem.n_hanging, db_disk.n_hanging);
+        let em: Vec<ElementRec> = db_mem.read_elements().unwrap().map(|e| e.unwrap()).collect();
+        let ed: Vec<ElementRec> = db_disk.read_elements().unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(em, ed);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn hanging_ratio_is_sizeable_on_adaptive_mesh() {
+        // The paper's LA mesh had ~15% hanging nodes; check we see the same
+        // order of magnitude on a small adaptive tree.
+        let dir = tmpdir("ratio");
+        let mut store = MemStore::new();
+        let p = EtreePipeline::default();
+        let mut stats = PipelineStats::default();
+        let half = 1u32 << (MAX_LEVEL - 1);
+        p.construct(
+            &mut store,
+            |o| o.level < 3 || (o.level < 5 && o.contains_point(half, half, 0)),
+            mat,
+            &mut stats,
+        )
+        .unwrap();
+        p.balance(&mut store, mat, &mut stats).unwrap();
+        let db = p.transform(&mut store, &dir, &mut stats).unwrap();
+        let ratio = db.n_hanging as f64 / db.n_nodes as f64;
+        assert!(ratio > 0.01 && ratio < 0.5, "hanging ratio {ratio}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

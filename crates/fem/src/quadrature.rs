@@ -1,0 +1,120 @@
+//! Gauss-Legendre quadrature on the unit interval, square and cube.
+//!
+//! Everything is expressed on `[0,1]^d` because all reference elements in this
+//! workspace live on the unit cube/square (octree leaves are axis-aligned
+//! cubes and the mapping is a pure scaling).
+
+/// A quadrature point: location in `[0,1]^d` plus weight.
+#[derive(Clone, Copy, Debug)]
+pub struct QPoint<const D: usize> {
+    pub xi: [f64; D],
+    pub w: f64,
+}
+
+/// n-point Gauss-Legendre rule on `[0,1]` (n = 1..=4).
+///
+/// Exact for polynomials of degree `2n-1`; the 2-point rule is what the
+/// trilinear element matrices need.
+pub fn gauss_1d(n: usize) -> Vec<QPoint<1>> {
+    // Abscissae/weights on [-1,1], then affine map to [0,1].
+    let (xs, ws): (Vec<f64>, Vec<f64>) = match n {
+        1 => (vec![0.0], vec![2.0]),
+        2 => {
+            let a = 1.0 / 3.0f64.sqrt();
+            (vec![-a, a], vec![1.0, 1.0])
+        }
+        3 => {
+            let a = (3.0f64 / 5.0).sqrt();
+            (vec![-a, 0.0, a], vec![5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0])
+        }
+        4 => {
+            let a = (3.0 / 7.0 - 2.0 / 7.0 * (6.0f64 / 5.0).sqrt()).sqrt();
+            let b = (3.0 / 7.0 + 2.0 / 7.0 * (6.0f64 / 5.0).sqrt()).sqrt();
+            let wa = (18.0 + 30.0f64.sqrt()) / 36.0;
+            let wb = (18.0 - 30.0f64.sqrt()) / 36.0;
+            (vec![-b, -a, a, b], vec![wb, wa, wa, wb])
+        }
+        _ => panic!("gauss_1d supports n = 1..=4, got {n}"),
+    };
+    xs.iter()
+        .zip(&ws)
+        .map(|(&x, &w)| QPoint { xi: [0.5 * (x + 1.0)], w: 0.5 * w })
+        .collect()
+}
+
+/// Tensor-product rule on the unit square.
+pub fn gauss_2d(n: usize) -> Vec<QPoint<2>> {
+    let g = gauss_1d(n);
+    let mut out = Vec::with_capacity(n * n);
+    for a in &g {
+        for b in &g {
+            out.push(QPoint { xi: [a.xi[0], b.xi[0]], w: a.w * b.w });
+        }
+    }
+    out
+}
+
+/// Tensor-product rule on the unit cube.
+pub fn gauss_3d(n: usize) -> Vec<QPoint<3>> {
+    let g = gauss_1d(n);
+    let mut out = Vec::with_capacity(n * n * n);
+    for a in &g {
+        for b in &g {
+            for c in &g {
+                out.push(QPoint { xi: [a.xi[0], b.xi[0], c.xi[0]], w: a.w * b.w * c.w });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate_1d(n: usize, f: impl Fn(f64) -> f64) -> f64 {
+        gauss_1d(n).iter().map(|q| q.w * f(q.xi[0])).sum()
+    }
+
+    #[test]
+    fn weights_sum_to_measure() {
+        for n in 1..=4 {
+            let s1: f64 = gauss_1d(n).iter().map(|q| q.w).sum();
+            assert!((s1 - 1.0).abs() < 1e-14, "1d n={n}");
+            let s3: f64 = gauss_3d(n).iter().map(|q| q.w).sum();
+            assert!((s3 - 1.0).abs() < 1e-13, "3d n={n}");
+        }
+    }
+
+    #[test]
+    fn two_point_rule_exact_for_cubics() {
+        // int_0^1 x^3 dx = 1/4
+        let v = integrate_1d(2, |x| x * x * x);
+        assert!((v - 0.25).abs() < 1e-14);
+    }
+
+    #[test]
+    fn two_point_rule_not_exact_for_quartics_but_three_point_is() {
+        // int_0^1 x^4 dx = 1/5
+        let v2 = integrate_1d(2, |x| x.powi(4));
+        assert!((v2 - 0.2).abs() > 1e-6);
+        let v3 = integrate_1d(3, |x| x.powi(4));
+        assert!((v3 - 0.2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn tensor_rule_integrates_separable_polynomial() {
+        // int over cube of x*y^2*z^3 = 1/2 * 1/3 * 1/4.
+        let v: f64 = gauss_3d(2)
+            .iter()
+            .map(|q| q.w * q.xi[0] * q.xi[1] * q.xi[1] * q.xi[2].powi(3))
+            .sum();
+        assert!((v - 1.0 / 24.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn four_point_rule_exact_for_degree_seven() {
+        let v = integrate_1d(4, |x| x.powi(7));
+        assert!((v - 0.125).abs() < 1e-13);
+    }
+}

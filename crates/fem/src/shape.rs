@@ -1,0 +1,220 @@
+//! Shape functions on unit reference elements.
+//!
+//! Node ordering is bit-coded: node `i` of the hex sits at
+//! `((i & 1), (i >> 1) & 1, (i >> 2) & 1)` on the unit cube, and likewise for
+//! the quad on the unit square. This makes octree-corner <-> node-index maps
+//! trivial throughout the workspace.
+
+/// Trilinear shape functions of the 8-node hex at `xi` in `[0,1]^3`.
+pub fn hex8_n(xi: [f64; 3]) -> [f64; 8] {
+    let mut n = [0.0; 8];
+    for (i, ni) in n.iter_mut().enumerate() {
+        let fx = if i & 1 == 0 { 1.0 - xi[0] } else { xi[0] };
+        let fy = if (i >> 1) & 1 == 0 { 1.0 - xi[1] } else { xi[1] };
+        let fz = if (i >> 2) & 1 == 0 { 1.0 - xi[2] } else { xi[2] };
+        *ni = fx * fy * fz;
+    }
+    n
+}
+
+/// Gradients (w.r.t. reference coordinates) of the hex8 shape functions.
+///
+/// For a physical cube of side `h`, divide by `h`.
+pub fn hex8_dn(xi: [f64; 3]) -> [[f64; 3]; 8] {
+    let mut dn = [[0.0; 3]; 8];
+    for (i, di) in dn.iter_mut().enumerate() {
+        let fx = if i & 1 == 0 { 1.0 - xi[0] } else { xi[0] };
+        let fy = if (i >> 1) & 1 == 0 { 1.0 - xi[1] } else { xi[1] };
+        let fz = if (i >> 2) & 1 == 0 { 1.0 - xi[2] } else { xi[2] };
+        let gx = if i & 1 == 0 { -1.0 } else { 1.0 };
+        let gy = if (i >> 1) & 1 == 0 { -1.0 } else { 1.0 };
+        let gz = if (i >> 2) & 1 == 0 { -1.0 } else { 1.0 };
+        di[0] = gx * fy * fz;
+        di[1] = fx * gy * fz;
+        di[2] = fx * fy * gz;
+    }
+    dn
+}
+
+/// Bilinear shape functions of the 4-node quad at `xi` in `[0,1]^2`.
+pub fn quad4_n(xi: [f64; 2]) -> [f64; 4] {
+    let mut n = [0.0; 4];
+    for (i, ni) in n.iter_mut().enumerate() {
+        let fx = if i & 1 == 0 { 1.0 - xi[0] } else { xi[0] };
+        let fy = if (i >> 1) & 1 == 0 { 1.0 - xi[1] } else { xi[1] };
+        *ni = fx * fy;
+    }
+    n
+}
+
+/// Reference-coordinate gradients of the quad4 shape functions.
+pub fn quad4_dn(xi: [f64; 2]) -> [[f64; 2]; 4] {
+    let mut dn = [[0.0; 2]; 4];
+    for (i, di) in dn.iter_mut().enumerate() {
+        let fx = if i & 1 == 0 { 1.0 - xi[0] } else { xi[0] };
+        let fy = if (i >> 1) & 1 == 0 { 1.0 - xi[1] } else { xi[1] };
+        let gx = if i & 1 == 0 { -1.0 } else { 1.0 };
+        let gy = if (i >> 1) & 1 == 0 { -1.0 } else { 1.0 };
+        di[0] = gx * fy;
+        di[1] = fx * gy;
+    }
+    dn
+}
+
+/// Barycentric (linear) shape-function gradients of a tetrahedron with the
+/// given vertex coordinates. Returns `(grads, volume)`; the gradients are
+/// constant over the element. Panics if the element is degenerate or
+/// inverted (non-positive volume).
+pub fn tet4_grads(v: &[[f64; 3]; 4]) -> ([[f64; 3]; 4], f64) {
+    // Volume from the scalar triple product.
+    let e1 = sub(v[1], v[0]);
+    let e2 = sub(v[2], v[0]);
+    let e3 = sub(v[3], v[0]);
+    let vol6 = dot3(e1, cross(e2, e3));
+    assert!(vol6 > 1e-300, "degenerate or inverted tetrahedron (6V = {vol6})");
+    let vol = vol6 / 6.0;
+    // grad N_i = (opposite-face normal, inward) / (3 V); compute each from the
+    // other three vertices.
+    let mut g = [[0.0; 3]; 4];
+    for i in 0..4 {
+        let o: Vec<usize> = (0..4).filter(|&j| j != i).collect();
+        let a = sub(v[o[1]], v[o[0]]);
+        let b = sub(v[o[2]], v[o[0]]);
+        let mut n = cross(a, b);
+        // Orient toward vertex i so that N_i increases toward its own vertex.
+        let to_i = sub(v[i], v[o[0]]);
+        if dot3(n, to_i) < 0.0 {
+            n = [-n[0], -n[1], -n[2]];
+        }
+        let scale = 1.0 / dot3(n, to_i);
+        g[i] = [n[0] * scale, n[1] * scale, n[2] * scale];
+    }
+    (g, vol)
+}
+
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn dot3(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex8_partition_of_unity() {
+        for &xi in &[[0.2, 0.7, 0.4], [0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [0.5, 0.5, 0.5]] {
+            let n = hex8_n(xi);
+            let s: f64 = n.iter().sum();
+            assert!((s - 1.0).abs() < 1e-14);
+            let dn = hex8_dn(xi);
+            for d in 0..3 {
+                let g: f64 = dn.iter().map(|di| di[d]).sum();
+                assert!(g.abs() < 1e-14, "gradient of constant must vanish");
+            }
+        }
+    }
+
+    #[test]
+    fn hex8_kronecker_delta_at_nodes() {
+        for i in 0..8usize {
+            let xi = [(i & 1) as f64, ((i >> 1) & 1) as f64, ((i >> 2) & 1) as f64];
+            let n = hex8_n(xi);
+            for (j, nj) in n.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((nj - expect).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn hex8_reproduces_linear_field() {
+        // u(x) = 2x - 3y + z + 5 must be interpolated exactly.
+        let f = |p: [f64; 3]| 2.0 * p[0] - 3.0 * p[1] + p[2] + 5.0;
+        let nodal: Vec<f64> = (0..8usize)
+            .map(|i| f([(i & 1) as f64, ((i >> 1) & 1) as f64, ((i >> 2) & 1) as f64]))
+            .collect();
+        let xi = [0.3, 0.8, 0.45];
+        let n = hex8_n(xi);
+        let u: f64 = n.iter().zip(&nodal).map(|(a, b)| a * b).sum();
+        assert!((u - f(xi)).abs() < 1e-13);
+        // Gradient must be (2,-3,1).
+        let dn = hex8_dn(xi);
+        for (d, expect) in [(0, 2.0), (1, -3.0), (2, 1.0)] {
+            let g: f64 = dn.iter().zip(&nodal).map(|(a, b)| a[d] * b).sum();
+            assert!((g - expect).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn quad4_partition_of_unity_and_delta() {
+        let n = quad4_n([0.25, 0.6]);
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+        for i in 0..4usize {
+            let xi = [(i & 1) as f64, ((i >> 1) & 1) as f64];
+            let n = quad4_n(xi);
+            assert!((n[i] - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn quad4_gradient_of_linear_field() {
+        let f = |p: [f64; 2]| 4.0 * p[0] + 7.0 * p[1] - 2.0;
+        let nodal: Vec<f64> =
+            (0..4usize).map(|i| f([(i & 1) as f64, ((i >> 1) & 1) as f64])).collect();
+        let dn = quad4_dn([0.1, 0.9]);
+        let gx: f64 = dn.iter().zip(&nodal).map(|(a, b)| a[0] * b).sum();
+        let gy: f64 = dn.iter().zip(&nodal).map(|(a, b)| a[1] * b).sum();
+        assert!((gx - 4.0).abs() < 1e-13);
+        assert!((gy - 7.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn tet4_grads_reproduce_linear_field() {
+        let v = [[0.0, 0.0, 0.0], [2.0, 0.0, 0.0], [0.0, 1.5, 0.0], [0.3, 0.2, 1.0]];
+        let (g, vol) = tet4_grads(&v);
+        assert!(vol > 0.0);
+        let f = |p: [f64; 3]| 1.0 * p[0] - 2.0 * p[1] + 0.5 * p[2];
+        // grad of interpolant = sum_i f(v_i) grad N_i must equal (1,-2,0.5).
+        let mut grad = [0.0; 3];
+        for i in 0..4 {
+            let fi = f(v[i]);
+            for d in 0..3 {
+                grad[d] += fi * g[i][d];
+            }
+        }
+        assert!((grad[0] - 1.0).abs() < 1e-12);
+        assert!((grad[1] + 2.0).abs() < 1e-12);
+        assert!((grad[2] - 0.5).abs() < 1e-12);
+        // Partition of unity: gradients sum to zero.
+        for d in 0..3 {
+            let s: f64 = (0..4).map(|i| g[i][d]).sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tet4_volume_of_unit_corner_tet() {
+        let v = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+        let (_, vol) = tet4_grads(&v);
+        assert!((vol - 1.0 / 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn tet4_degenerate_panics() {
+        let v = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [2.0, 0.0, 0.0], [3.0, 0.0, 0.0]];
+        let _ = tet4_grads(&v);
+    }
+}

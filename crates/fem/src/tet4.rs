@@ -1,0 +1,145 @@
+//! Linear tetrahedral elements — the *baseline* element of the paper.
+//!
+//! The authors' earlier earthquake codes used linear tets with node-based
+//! sparse data structures; Section 2 and Fig 2.4 compare the new hexahedral
+//! code against it. We reproduce that baseline: per-element 12x12 stiffness
+//! from arbitrary vertex coordinates (tets are not self-similar, so unlike the
+//! hexes a canonical matrix does not exist — which is exactly why the tet code
+//! needed an order of magnitude more memory).
+
+use crate::linalg::DMat;
+use crate::shape::tet4_grads;
+
+/// 12x12 elastic stiffness of a linear tet with vertices `v` and moduli
+/// `(lambda, mu)`. DOF ordering is node-major (`dof = 3*node + comp`).
+pub fn tet4_stiffness(v: &[[f64; 3]; 4], lambda: f64, mu: f64) -> DMat {
+    let (g, vol) = tet4_grads(v);
+    // Constant 6x12 B matrix (Voigt, engineering shears).
+    let mut b = DMat::zeros(6, 12);
+    for i in 0..4 {
+        let [gx, gy, gz] = g[i];
+        let c = 3 * i;
+        b[(0, c)] = gx;
+        b[(1, c + 1)] = gy;
+        b[(2, c + 2)] = gz;
+        b[(3, c)] = gy;
+        b[(3, c + 1)] = gx;
+        b[(4, c + 1)] = gz;
+        b[(4, c + 2)] = gy;
+        b[(5, c)] = gz;
+        b[(5, c + 2)] = gx;
+    }
+    // D = lambda m m^T + mu diag(2,2,2,1,1,1).
+    let mut d = DMat::zeros(6, 6);
+    for r in 0..3 {
+        for c in 0..3 {
+            d[(r, c)] = lambda;
+        }
+        d[(r, r)] += 2.0 * mu;
+    }
+    for r in 3..6 {
+        d[(r, r)] = mu;
+    }
+    let mut k = b.transpose().mul(&d.mul(&b));
+    k.scale_in_place(vol);
+    k
+}
+
+/// Lumped nodal mass of a tet: `rho * V / 4` per node.
+pub fn tet4_lumped_mass(v: &[[f64; 3]; 4], rho: f64) -> f64 {
+    let (_, vol) = tet4_grads(v);
+    rho * vol / 4.0
+}
+
+/// Split a unit-ordering hexahedron (bit-coded corners, see `crate::shape`)
+/// into 6 tetrahedra sharing the main diagonal 0-7.
+///
+/// Returns local hex-corner indices for each tet. All tets are positively
+/// oriented for an axis-aligned cube.
+pub const HEX_TO_TETS: [[usize; 4]; 6] = [
+    [0, 1, 3, 7],
+    [0, 3, 2, 7],
+    [0, 2, 6, 7],
+    [0, 6, 4, 7],
+    [0, 4, 5, 7],
+    [0, 5, 1, 7],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corner(i: usize, h: f64) -> [f64; 3] {
+        [(i & 1) as f64 * h, ((i >> 1) & 1) as f64 * h, ((i >> 2) & 1) as f64 * h]
+    }
+
+    #[test]
+    fn hex_to_tets_tile_the_cube() {
+        let mut vol = 0.0;
+        for t in HEX_TO_TETS {
+            let v = [corner(t[0], 2.0), corner(t[1], 2.0), corner(t[2], 2.0), corner(t[3], 2.0)];
+            let (_, tv) = tet4_grads(&v);
+            assert!(tv > 0.0, "tet {t:?} inverted");
+            vol += tv;
+        }
+        assert!((vol - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tet_stiffness_symmetric_and_rigid_modes() {
+        let v = [[0.0, 0.0, 0.0], [1.0, 0.1, 0.0], [0.2, 1.3, 0.0], [0.1, 0.2, 0.9]];
+        let k = tet4_stiffness(&v, 1.4, 0.8);
+        for r in 0..12 {
+            for c in 0..12 {
+                assert!((k[(r, c)] - k[(c, r)]).abs() < 1e-12);
+            }
+        }
+        // Rigid translation nullspace.
+        for comp in 0..3 {
+            let mut u = vec![0.0; 12];
+            for n in 0..4 {
+                u[3 * n + comp] = 1.0;
+            }
+            let f = k.mul_vec(&u);
+            for fi in f {
+                assert!(fi.abs() < 1e-11);
+            }
+        }
+        // Rigid rotation about z.
+        let mut u = vec![0.0; 12];
+        for n in 0..4 {
+            u[3 * n] = -v[n][1];
+            u[3 * n + 1] = v[n][0];
+        }
+        let f = k.mul_vec(&u);
+        for fi in f {
+            assert!(fi.abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn tet_mesh_of_cube_matches_hex_uniaxial_energy() {
+        // Both discretizations reproduce a linear displacement field exactly,
+        // so the strain energy of u = (x,0,0) must agree with the continuum.
+        let (lambda, mu) = (1.0, 1.0);
+        let mut energy = 0.0;
+        for t in HEX_TO_TETS {
+            let v = [corner(t[0], 1.0), corner(t[1], 1.0), corner(t[2], 1.0), corner(t[3], 1.0)];
+            let k = tet4_stiffness(&v, lambda, mu);
+            let mut u = vec![0.0; 12];
+            for n in 0..4 {
+                u[3 * n] = v[n][0];
+            }
+            let f = k.mul_vec(&u);
+            energy += 0.5 * crate::linalg::dot(&u, &f);
+        }
+        assert!((energy - 0.5 * (lambda + 2.0 * mu)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tet_lumped_mass_total_is_rho_v() {
+        let v = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+        let m = tet4_lumped_mass(&v, 6.0);
+        assert!((4.0 * m - 6.0 / 6.0).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,522 @@
+//! The multiscale Gauss-Newton-Krylov material inversion driver.
+//!
+//! Each Gauss-Newton iteration solves the reduced-Hessian system
+//! `H dm = -g` by preconditioned conjugate gradients, where every
+//! Hessian-vector product costs one *incremental forward* solve (forcing
+//! `-dK(P v) u_k` from the stored state history) and one *incremental
+//! adjoint* solve — exactly the structure of the paper: "each CG iteration
+//! requires one forward and one adjoint wave propagation solution".
+//!
+//! `H = P^T G^T W G P + beta TV'' + barrier''` is symmetric positive
+//! definite with appropriate regularization, so CG applies; the
+//! preconditioner is a Morales-Nocedal limited-memory BFGS operator built
+//! from the *secant pairs `(p, Hp)` that CG itself produces* — free, exact
+//! curvature information reused across Gauss-Newton iterations. An
+//! Armijo backtracking line search guarantees global convergence and a
+//! logarithmic barrier keeps the moduli positive (Section 3.1).
+
+use crate::matmap::MaterialMap;
+use crate::misfit::{misfit_value, residuals};
+use crate::regularization::TvReg;
+use quake_solver::wave::{adjoint, forward, material_gradient, ScalarWaveEq};
+use std::collections::VecDeque;
+
+/// Gauss-Newton configuration.
+#[derive(Clone, Debug)]
+pub struct GnConfig {
+    pub max_gn_iters: usize,
+    pub max_cg_iters: usize,
+    /// Relative CG tolerance (the "forcing term" eta).
+    pub cg_tol: f64,
+    /// Stop when `||g|| <= grad_tol * ||g_0||`.
+    pub grad_tol: f64,
+    /// Stop when the data misfit falls below this (exact-fit problems).
+    pub misfit_tol: f64,
+    pub armijo_c1: f64,
+    pub max_linesearch: usize,
+    /// L-BFGS preconditioner memory (0 disables preconditioning).
+    pub lbfgs_memory: usize,
+    /// Log-barrier `(m_min, relative_weight)` enforcing `m > m_min`. The
+    /// effective weight is `relative_weight * J_data(m_0)`, making the
+    /// setting unit-free (the misfit and the moduli live on wildly
+    /// different scales).
+    pub barrier: Option<(f64, f64)>,
+}
+
+impl Default for GnConfig {
+    fn default() -> Self {
+        GnConfig {
+            max_gn_iters: 30,
+            max_cg_iters: 60,
+            cg_tol: 0.1,
+            grad_tol: 1e-3,
+            misfit_tol: 0.0,
+            armijo_c1: 1e-4,
+            max_linesearch: 25,
+            lbfgs_memory: 10,
+            barrier: None,
+        }
+    }
+}
+
+/// Convergence record of one inversion (feeds Table 3.1).
+#[derive(Clone, Debug, Default)]
+pub struct GnStats {
+    pub gn_iters: usize,
+    pub cg_iters_total: usize,
+    pub cg_iters_per_gn: Vec<usize>,
+    pub objective_history: Vec<f64>,
+    pub misfit_history: Vec<f64>,
+    pub grad_norms: Vec<f64>,
+    pub converged: bool,
+}
+
+/// Limited-memory BFGS operator from secant pairs, applied via the two-loop
+/// recursion (Morales & Nocedal's automatic preconditioner).
+#[derive(Clone, Debug, Default)]
+pub struct Lbfgs {
+    pairs: VecDeque<(Vec<f64>, Vec<f64>, f64)>,
+    memory: usize,
+}
+
+impl Lbfgs {
+    pub fn new(memory: usize) -> Lbfgs {
+        Lbfgs { pairs: VecDeque::new(), memory }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Record a secant pair `(s, y = H s)`; skipped unless `s.y > 0`.
+    pub fn push(&mut self, s: Vec<f64>, y: Vec<f64>) {
+        if self.memory == 0 {
+            return;
+        }
+        let sy: f64 = s.iter().zip(&y).map(|(a, b)| a * b).sum();
+        if sy <= 0.0 || !sy.is_finite() {
+            return;
+        }
+        if self.pairs.len() == self.memory {
+            self.pairs.pop_front();
+        }
+        self.pairs.push_back((s, y, 1.0 / sy));
+    }
+
+    /// `H^{-1} r` approximation by the two-loop recursion.
+    pub fn apply(&self, r: &[f64]) -> Vec<f64> {
+        let mut q = r.to_vec();
+        if self.pairs.is_empty() {
+            return q;
+        }
+        let mut alphas = vec![0.0; self.pairs.len()];
+        for (i, (s, y, rho)) in self.pairs.iter().enumerate().rev() {
+            let a = rho * s.iter().zip(&q).map(|(x, z)| x * z).sum::<f64>();
+            alphas[i] = a;
+            for (qi, yi) in q.iter_mut().zip(y) {
+                *qi -= a * yi;
+            }
+        }
+        // H0 = gamma I from the newest pair.
+        let (s, y, _) = self.pairs.back().unwrap();
+        let sy: f64 = s.iter().zip(y).map(|(a, b)| a * b).sum();
+        let yy: f64 = y.iter().map(|v| v * v).sum();
+        let gamma = if yy > 0.0 { sy / yy } else { 1.0 };
+        for qi in q.iter_mut() {
+            *qi *= gamma;
+        }
+        for (i, (s, y, rho)) in self.pairs.iter().enumerate() {
+            let b = rho * y.iter().zip(&q).map(|(x, z)| x * z).sum::<f64>();
+            for (qi, si) in q.iter_mut().zip(s) {
+                *qi += (alphas[i] - b) * si;
+            }
+        }
+        q
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Preconditioned CG on `H x = b`; returns `(x, iterations)` and pushes the
+/// secant pairs it generates into `precond_next`.
+pub fn pcg(
+    hess: &mut dyn FnMut(&[f64]) -> Vec<f64>,
+    b: &[f64],
+    rel_tol: f64,
+    max_iters: usize,
+    precond: &Lbfgs,
+    precond_next: &mut Lbfgs,
+) -> (Vec<f64>, usize) {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let b_norm = dot(b, b).sqrt();
+    if b_norm == 0.0 {
+        return (x, 0);
+    }
+    let mut z = precond.apply(&r);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut iters = 0;
+    for _ in 0..max_iters {
+        let q = hess(&p);
+        iters += 1;
+        let pq = dot(&p, &q);
+        if pq <= 0.0 || !pq.is_finite() {
+            // Negative curvature or breakdown: keep what we have (fall back
+            // to the preconditioned steepest-descent direction at start).
+            if iters == 1 {
+                x = z.clone();
+            }
+            break;
+        }
+        precond_next.push(p.clone(), q.clone());
+        let alpha = rz / pq;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+        }
+        if dot(&r, &r).sqrt() <= rel_tol * b_norm {
+            break;
+        }
+        z = precond.apply(&r);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    (x, iters)
+}
+
+// The barrier is normalized per parameter (a density functional): without
+// the 1/n factor its Hessian floor would grow with the inversion grid and
+// spoil the mesh independence of the CG iteration counts (Table 3.1).
+fn barrier_value(m: &[f64], barrier: Option<(f64, f64)>) -> f64 {
+    let Some((m_min, w)) = barrier else { return 0.0 };
+    let wn = w / m.len().max(1) as f64;
+    let mut acc = 0.0;
+    for &v in m {
+        if v <= m_min {
+            return f64::INFINITY;
+        }
+        acc -= (v - m_min).ln();
+    }
+    wn * acc
+}
+
+fn barrier_gradient(m: &[f64], barrier: Option<(f64, f64)>, g: &mut [f64]) {
+    let Some((m_min, w)) = barrier else { return };
+    let wn = w / m.len().max(1) as f64;
+    for (gi, &v) in g.iter_mut().zip(m) {
+        *gi -= wn / (v - m_min);
+    }
+}
+
+fn barrier_hess(m: &[f64], barrier: Option<(f64, f64)>, v: &[f64], out: &mut [f64]) {
+    let Some((m_min, w)) = barrier else { return };
+    let wn = w / m.len().max(1) as f64;
+    for ((oi, &mi), &vi) in out.iter_mut().zip(m).zip(v) {
+        *oi += wn / ((mi - m_min) * (mi - m_min)) * vi;
+    }
+}
+
+/// Invert for the material parameter field on the inversion grid.
+///
+/// `forcing` is the (fixed, known for material inversion) source term;
+/// `data` the observed receiver traces; `m0` the initial guess on the
+/// inversion grid. Returns the recovered field and convergence statistics.
+pub fn invert_material(
+    eq: &dyn ScalarWaveEq,
+    forcing: &(dyn Fn(usize, &mut [f64]) + Sync),
+    data: &[Vec<f64>],
+    map: &MaterialMap,
+    tv: &TvReg,
+    m0: &[f64],
+    cfg: &GnConfig,
+) -> (Vec<f64>, GnStats) {
+    assert_eq!(m0.len(), map.n_param());
+    let mut m = m0.to_vec();
+    let mut stats = GnStats::default();
+    let mut precond = Lbfgs::new(cfg.lbfgs_memory);
+
+    // Scale the barrier relative to the initial data misfit so the setting
+    // is unit-free.
+    let jd0 = {
+        let mu = map.interpolate(&m);
+        let run = forward(eq, &mu, &mut |k, f| forcing(k, f), false);
+        misfit_value(&run.traces, data, eq.dt())
+    };
+    let barrier = cfg.barrier.map(|(m_min, w)| (m_min, w * jd0.max(1e-300)));
+
+    let objective = |m: &[f64]| -> f64 {
+        let bar = barrier_value(m, barrier);
+        if !bar.is_finite() {
+            return f64::INFINITY;
+        }
+        let mu = map.interpolate(m);
+        if mu.iter().any(|&v| v <= 0.0) {
+            return f64::INFINITY;
+        }
+        let run = forward(eq, &mu, &mut |k, f| forcing(k, f), false);
+        misfit_value(&run.traces, data, eq.dt()) + tv.value(m) + bar
+    };
+
+    let mut g0_norm = None;
+    for _ in 0..cfg.max_gn_iters {
+        // Forward + adjoint: objective and gradient.
+        let mu = map.interpolate(&m);
+        let run = forward(eq, &mu, &mut |k, f| forcing(k, f), true);
+        let jd = misfit_value(&run.traces, data, eq.dt());
+        let jtot = jd + tv.value(&m) + barrier_value(&m, barrier);
+        let res = residuals(&run.traces, data);
+        let adj = adjoint(eq, &mu, &res);
+        let ge = material_gradient(eq, &run.states, &adj.states);
+        let mut g = map.transpose_apply(&ge);
+        tv.gradient(&m, &mut g);
+        barrier_gradient(&m, barrier, &mut g);
+        let g_norm = dot(&g, &g).sqrt();
+
+        stats.objective_history.push(jtot);
+        stats.misfit_history.push(jd);
+        stats.grad_norms.push(g_norm);
+        let g0 = *g0_norm.get_or_insert(g_norm);
+        if g_norm <= cfg.grad_tol * g0.max(1e-300) || jd <= cfg.misfit_tol {
+            stats.converged = true;
+            break;
+        }
+        stats.gn_iters += 1;
+
+        // Matrix-free reduced-Hessian product.
+        let diffus = tv.diffusivity(&m);
+        let mut hess = |v: &[f64]| -> Vec<f64> {
+            let dmu = map.interpolate(v);
+            // Incremental forward: A du_{k+1} = B du_k + C du_{k-1}
+            //                      - dt^2 dK(dmu) u_k.
+            let inc = forward(
+                eq,
+                &mu,
+                &mut |k, f| eq.apply_dk(&dmu, &run.states[k], f, -1.0),
+                false,
+            );
+            // Incremental adjoint from the incremental traces.
+            let dadj = adjoint(eq, &mu, &inc.traces);
+            let he = material_gradient(eq, &run.states, &dadj.states);
+            let mut hv = map.transpose_apply(&he);
+            tv.hess_apply(&diffus, v, &mut hv);
+            barrier_hess(&m, barrier, v, &mut hv);
+            hv
+        };
+        let minus_g: Vec<f64> = g.iter().map(|v| -v).collect();
+        let mut precond_next = Lbfgs::new(cfg.lbfgs_memory);
+        let (dm, cg_iters) =
+            pcg(&mut hess, &minus_g, cfg.cg_tol, cfg.max_cg_iters, &precond, &mut precond_next);
+        if !precond_next.is_empty() {
+            precond = precond_next;
+        }
+        stats.cg_iters_per_gn.push(cg_iters);
+        stats.cg_iters_total += cg_iters;
+
+        // Armijo backtracking along the GN direction, retrying along
+        // steepest descent if that fails (nonsmooth kinks of the slip ramp
+        // or a poor GN model can spoil the CG direction).
+        let mut accepted = false;
+        'directions: for dir in [&dm, &minus_g] {
+            let slope = dot(&g, dir);
+            if slope >= 0.0 {
+                continue;
+            }
+            let mut alpha = 1.0;
+            for _ in 0..cfg.max_linesearch {
+                let trial: Vec<f64> =
+                    m.iter().zip(dir.iter()).map(|(a, b)| a + alpha * b).collect();
+                let jt = objective(&trial);
+                if jt <= jtot + cfg.armijo_c1 * alpha * slope {
+                    m = trial;
+                    accepted = true;
+                    break 'directions;
+                }
+                alpha *= 0.5;
+            }
+        }
+        if !accepted {
+            // Stuck: can't descend along any available direction.
+            break;
+        }
+    }
+    (m, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quake_antiplane::{ShConfig, ShSolver};
+
+    fn solver() -> ShSolver {
+        ShSolver::new(&ShConfig {
+            nx: 12,
+            nz: 8,
+            h: 500.0,
+            rho: 2200.0,
+            dt: 0.05,
+            n_steps: 60,
+            receivers: vec![],
+            mu_background: 2200.0 * 2000.0 * 2000.0,
+            absorbing: [true; 3],
+        })
+        .with_surface_receivers(8)
+    }
+
+    fn centers(s: &ShSolver) -> Vec<[f64; 3]> {
+        (0..s.n_elements())
+            .map(|e| {
+                let c = s.elem_center(e);
+                [c[0], c[1], 0.0]
+            })
+            .collect()
+    }
+
+    fn forcing_fn(src: usize) -> impl Fn(usize, &mut [f64]) + Sync {
+        move |k: usize, f: &mut [f64]| {
+            if k < 8 {
+                f[src] += 1e8 * ((k as f64 + 1.0) / 8.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lbfgs_two_loop_inverts_diagonal_exactly() {
+        // For a diagonal H with enough independent pairs, L-BFGS applied to
+        // a vector in the span reproduces H^{-1} v.
+        let diag = [2.0, 0.5, 4.0];
+        let mut l = Lbfgs::new(8);
+        for i in 0..3 {
+            let mut s = vec![0.0; 3];
+            s[i] = 1.0;
+            let y: Vec<f64> = s.iter().zip(&diag).map(|(a, d)| a * d).collect();
+            l.push(s, y);
+        }
+        let v = vec![1.0, 1.0, 1.0];
+        let got = l.apply(&v);
+        for (g, d) in got.iter().zip(&diag) {
+            assert!((g - 1.0 / d).abs() < 1e-10, "{got:?}");
+        }
+    }
+
+    #[test]
+    fn pcg_solves_spd_system() {
+        // H = diag + rank-1, SPD.
+        let n = 12;
+        let hess = |v: &[f64]| -> Vec<f64> {
+            let s: f64 = v.iter().sum();
+            v.iter()
+                .enumerate()
+                .map(|(i, &x)| (2.0 + i as f64) * x + 0.5 * s)
+                .collect()
+        };
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b = hess(&x_true);
+        let none = Lbfgs::new(0);
+        let mut next = Lbfgs::new(0);
+        let (x, iters) = pcg(&mut |v| hess(v), &b, 1e-10, 100, &none, &mut next);
+        assert!(iters <= n + 2, "CG used {iters} iterations");
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn gn_hessian_is_symmetric_psd() {
+        let s = solver();
+        let map = MaterialMap::new(&centers(&s), [6000.0, 4000.0, 1.0], [4, 3, 1]);
+        let tv = TvReg { dims: [4, 3, 1], spacing: [2000.0, 2000.0, 1.0], eps: 1e3, beta: 1e-4 };
+        let m: Vec<f64> = (0..map.n_param())
+            .map(|i| 2200.0 * 2000.0f64.powi(2) * (1.0 + 0.05 * (i % 3) as f64))
+            .collect();
+        let mu = map.interpolate(&m);
+        let forcing = forcing_fn(40);
+        let run = forward(&s, &mu, &mut |k, f| forcing(k, f), true);
+        let diffus = tv.diffusivity(&m);
+        let mut hess = |v: &[f64]| -> Vec<f64> {
+            let dmu = map.interpolate(v);
+            let inc =
+                forward(&s, &mu, &mut |k, f| s.apply_dk(&dmu, &run.states[k], f, -1.0), false);
+            let dadj = adjoint(&s, &mu, &inc.traces);
+            let he = material_gradient(&s, &run.states, &dadj.states);
+            let mut hv = map.transpose_apply(&he);
+            tv.hess_apply(&diffus, v, &mut hv);
+            hv
+        };
+        let mut st = 77u64;
+        let mut rnd = || {
+            st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (st >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a: Vec<f64> = (0..map.n_param()).map(|_| rnd() * 1e9).collect();
+        let b: Vec<f64> = (0..map.n_param()).map(|_| rnd() * 1e9).collect();
+        let ha = hess(&a);
+        let hb = hess(&b);
+        let ahb = dot(&a, &hb);
+        let bha = dot(&b, &ha);
+        assert!(
+            (ahb - bha).abs() < 1e-9 * (1.0 + ahb.abs()),
+            "H not symmetric: {ahb} vs {bha}"
+        );
+        assert!(dot(&a, &ha) >= -1e-9 * dot(&a, &a), "H not PSD");
+    }
+
+    #[test]
+    fn recovers_representable_target() {
+        // Inverse crime on purpose: the target lives on the inversion grid,
+        // so Gauss-Newton must drive the misfit (essentially) to zero and
+        // recover the vertex values.
+        let s = solver();
+        let dims = [4, 3, 1];
+        let map = MaterialMap::new(&centers(&s), [6000.0, 4000.0, 1.0], dims);
+        let base = 2200.0 * 2000.0f64.powi(2);
+        let mut m_true = vec![base; map.n_param()];
+        m_true[5] = base * 1.25;
+        m_true[6] = base * 0.8;
+        let forcing = forcing_fn(40);
+        let data = forward(&s, &map.interpolate(&m_true), &mut |k, f| forcing(k, f), false)
+            .traces;
+        let tv = TvReg {
+            dims,
+            spacing: [2000.0, 2000.0, 1.0],
+            eps: 0.01 * base / 2000.0,
+            beta: 1e-26,
+        };
+        let m0 = vec![base; map.n_param()];
+        let cfg = GnConfig {
+            max_gn_iters: 20,
+            grad_tol: 1e-5,
+            barrier: Some((0.1 * base, 1e-6)),
+            ..GnConfig::default()
+        };
+        let (m, stats) = invert_material(&s, &forcing, &data, &map, &tv, &m0, &cfg);
+        assert!(stats.gn_iters >= 1);
+        let j0 = stats.misfit_history[0];
+        let jn = *stats.misfit_history.last().unwrap();
+        assert!(jn < 1e-4 * j0, "misfit only fell {j0} -> {jn}");
+        // Interior vertices recovered; edge vertices are weakly constrained.
+        for &i in &[5usize, 6] {
+            let rel = (m[i] - m_true[i]).abs() / m_true[i];
+            assert!(rel < 0.05, "vertex {i}: {} vs {} ({rel})", m[i], m_true[i]);
+        }
+    }
+
+    #[test]
+    fn barrier_keeps_modulus_positive() {
+        let m = vec![1.0, 2.0];
+        assert!(barrier_value(&m, Some((0.5, 1.0))).is_finite());
+        assert_eq!(barrier_value(&[0.4, 2.0], Some((0.5, 1.0))), f64::INFINITY);
+        // Gradient pushes away from the bound.
+        let mut g = vec![0.0; 2];
+        barrier_gradient(&[0.6, 2.0], Some((0.5, 1.0)), &mut g);
+        assert!(g[0] < -1.0, "barrier should push up near the bound: {g:?}");
+        assert!(g[1] > -1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Trace misfits, residuals and the synthetic-noise model.
+
+/// `1/2 dt sum_r sum_k (u - d)^2` — the data misfit of (3.1), continuous in
+/// time (trapezoid-grade) and pointwise at receivers.
+pub fn misfit_value(traces: &[Vec<f64>], data: &[Vec<f64>], dt: f64) -> f64 {
+    assert_eq!(traces.len(), data.len());
+    let mut j = 0.0;
+    for (t, d) in traces.iter().zip(data) {
+        assert_eq!(t.len(), d.len());
+        for (a, b) in t.iter().zip(d) {
+            j += 0.5 * (a - b) * (a - b) * dt;
+        }
+    }
+    j
+}
+
+/// Residual traces `u - d`.
+pub fn residuals(traces: &[Vec<f64>], data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    traces
+        .iter()
+        .zip(data)
+        .map(|(t, d)| t.iter().zip(d).map(|(a, b)| a - b).collect())
+        .collect()
+}
+
+/// Add zero-mean uniform noise with RMS `level * rms(trace)` to each trace
+/// (the paper adds 5% random noise to the pseudo-observed data).
+pub fn add_noise(data: &mut [Vec<f64>], level: f64, seed: u64) {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    let mut rnd = || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    for trace in data.iter_mut() {
+        let rms = (trace.iter().map(|v| v * v).sum::<f64>() / trace.len().max(1) as f64).sqrt();
+        // Uniform on [-1/2, 1/2] has RMS 1/sqrt(12); scale accordingly.
+        let amp = level * rms * 12.0f64.sqrt();
+        for v in trace.iter_mut() {
+            *v += amp * rnd();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misfit_zero_for_identical_traces() {
+        let t = vec![vec![1.0, 2.0, 3.0], vec![-1.0, 0.5, 0.0]];
+        assert_eq!(misfit_value(&t, &t, 0.1), 0.0);
+        let r = residuals(&t, &t);
+        assert!(r.iter().flatten().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn misfit_scales_quadratically() {
+        let d = vec![vec![0.0; 4]];
+        let t1 = vec![vec![1.0; 4]];
+        let t2 = vec![vec![2.0; 4]];
+        let j1 = misfit_value(&t1, &d, 0.5);
+        let j2 = misfit_value(&t2, &d, 0.5);
+        assert!((j2 - 4.0 * j1).abs() < 1e-12);
+        assert!((j1 - 0.5 * 4.0 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_has_requested_level_and_is_reproducible() {
+        let clean: Vec<f64> = (0..5000).map(|k| (k as f64 * 0.01).sin()).collect();
+        let mut a = vec![clean.clone()];
+        add_noise(&mut a, 0.05, 42);
+        let mut b = vec![clean.clone()];
+        add_noise(&mut b, 0.05, 42);
+        assert_eq!(a, b, "same seed must give same noise");
+        let rms_clean = (clean.iter().map(|v| v * v).sum::<f64>() / 5000.0).sqrt();
+        let rms_noise = (a[0]
+            .iter()
+            .zip(&clean)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            / 5000.0)
+            .sqrt();
+        let ratio = rms_noise / rms_clean;
+        assert!((ratio - 0.05).abs() < 0.01, "noise level {ratio}");
+        let mut c = vec![clean.clone()];
+        add_noise(&mut c, 0.05, 43);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+}

@@ -1,0 +1,215 @@
+//! A calibrated terascale-machine performance model.
+//!
+//! Table 2.1 of the paper measures sustained Mflop/s per processor as the
+//! LeMieux AlphaServer scales from 1 to 3000 PEs. This host has one core, so
+//! (per the substitution policy in DESIGN.md) multi-PE timings are *modeled*:
+//!
+//! - per-rank compute time comes from an analytic flop count of the explicit
+//!   update (the same count the paper used to report flop rates) divided by
+//!   a single-PE rate *measured live* on this machine,
+//! - per-rank communication time is an alpha-beta model of the Quadrics
+//!   interconnect applied to the rank's real ghost-exchange volume from the
+//!   real partition of the real mesh,
+//! - the step time of the machine is `max over ranks (compute + comm)`, and
+//!   parallel efficiency is the per-PE rate degradation relative to 1 PE —
+//!   exactly the paper's metric.
+//!
+//! Everything physical about the run (mesh, partition, exchange volumes,
+//! flops) is computed, not assumed; only the hardware constants are modeled.
+
+/// Analytic flop counts for the explicit solvers.
+pub mod flops {
+    /// Flops of one elastic hex element force evaluation: gather + two
+    /// 24x24 dense mat-vecs (mul+add) + modulus combination + scatter-add.
+    pub const ELASTIC_HEX_ELEMENT: u64 = 2 * (24 * 24 * 2) + 3 * 24 + 24;
+
+    /// Flops of one scalar hex element force evaluation (8x8 dense).
+    pub const SCALAR_HEX_ELEMENT: u64 = 8 * 8 * 2 + 2 * 8 + 8;
+
+    /// Per-node update flops of the central-difference step (3 components):
+    /// the eq. (2.4) diagonal solve plus the two history combinations.
+    pub const ELASTIC_NODE_UPDATE: u64 = 3 * 12;
+
+    /// Per-node update flops for a scalar field.
+    pub const SCALAR_NODE_UPDATE: u64 = 12;
+
+    /// Per-boundary-face flops of the Stacey terms (damping + tangential
+    /// coupling, 12x12 face kernel).
+    pub const ABC_FACE: u64 = 12 * 12 * 2 + 24;
+
+    /// Total flops of `n_steps` of the elastic solver.
+    pub fn elastic_total(n_elements: u64, n_nodes: u64, n_abc_faces: u64, n_steps: u64) -> u64 {
+        n_steps
+            * (n_elements * ELASTIC_HEX_ELEMENT
+                + n_nodes * ELASTIC_NODE_UPDATE
+                + n_abc_faces * ABC_FACE)
+    }
+}
+
+/// Hardware constants of the modeled machine (defaults ~ LeMieux: 1 GHz
+/// Alpha EV68, 2 Gflop/s peak, Quadrics interconnect).
+#[derive(Clone, Copy, Debug)]
+pub struct MachineModel {
+    /// Sustained flop rate of one PE on this kernel (flop/s). Calibrate with
+    /// [`MachineModel::calibrated`] from a measured run.
+    pub flops_per_sec_per_pe: f64,
+    /// Network injection latency per message (s). Quadrics ~ 5 us.
+    pub latency: f64,
+    /// Per-link bandwidth (bytes/s). Quadrics ~ 250 MB/s sustained.
+    pub bandwidth: f64,
+    /// Per-step synchronization overhead that grows with log2(P) (s).
+    pub sync_per_log_pe: f64,
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        MachineModel {
+            // 25% of the EV68's 2 Gflop/s peak — the paper's measured rate.
+            flops_per_sec_per_pe: 0.5e9,
+            latency: 5e-6,
+            bandwidth: 250e6,
+            sync_per_log_pe: 2e-6,
+        }
+    }
+}
+
+/// Per-rank workload description for one time step.
+#[derive(Clone, Debug)]
+pub struct RankWork {
+    /// Flops this rank executes per step.
+    pub flops: u64,
+    /// Number of neighbor ranks it exchanges with.
+    pub n_neighbors: usize,
+    /// Total bytes sent per step (sum over neighbors).
+    pub bytes_sent: u64,
+}
+
+/// Predicted timing of one machine step.
+#[derive(Clone, Copy, Debug)]
+pub struct StepPrediction {
+    /// Wall time of the step (max over ranks), seconds.
+    pub step_time: f64,
+    /// Aggregate sustained flop rate (flop/s).
+    pub total_flop_rate: f64,
+    /// Sustained Mflop/s per PE.
+    pub mflops_per_pe: f64,
+}
+
+impl MachineModel {
+    /// Build a model whose single-PE rate was measured on this host: pass
+    /// the measured flops and wall seconds of a real single-rank run.
+    pub fn calibrated(measured_flops: u64, measured_secs: f64) -> MachineModel {
+        assert!(measured_secs > 0.0 && measured_flops > 0);
+        MachineModel {
+            flops_per_sec_per_pe: measured_flops as f64 / measured_secs,
+            ..MachineModel::default()
+        }
+    }
+
+    /// Predict one explicit time step of a partitioned mesh.
+    pub fn predict_step(&self, ranks: &[RankWork]) -> StepPrediction {
+        assert!(!ranks.is_empty());
+        let p = ranks.len() as f64;
+        let sync = self.sync_per_log_pe * p.log2().max(0.0);
+        let mut worst = 0.0f64;
+        let mut total_flops = 0u64;
+        for r in ranks {
+            let t_comp = r.flops as f64 / self.flops_per_sec_per_pe;
+            let t_comm =
+                r.n_neighbors as f64 * self.latency + r.bytes_sent as f64 / self.bandwidth;
+            worst = worst.max(t_comp + t_comm + sync);
+            total_flops += r.flops;
+        }
+        let total_flop_rate = total_flops as f64 / worst;
+        StepPrediction {
+            step_time: worst,
+            total_flop_rate,
+            mflops_per_pe: total_flop_rate / p / 1e6,
+        }
+    }
+
+    /// Parallel efficiency of `pred` relative to a single-PE prediction —
+    /// the paper's Table 2.1 metric (Mflop/s-per-PE degradation).
+    pub fn efficiency(&self, single: &StepPrediction, pred: &StepPrediction) -> f64 {
+        pred.mflops_per_pe / single.mflops_per_pe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_ranks(p: usize, elems_total: u64, shared_per_rank: u64) -> Vec<RankWork> {
+        let per = elems_total / p as u64;
+        (0..p)
+            .map(|_| RankWork {
+                flops: per * flops::ELASTIC_HEX_ELEMENT,
+                n_neighbors: if p == 1 { 0 } else { 6.min(p - 1) },
+                bytes_sent: if p == 1 { 0 } else { shared_per_rank * 24 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_pe_runs_at_calibrated_rate() {
+        let m = MachineModel::default();
+        let pred = m.predict_step(&uniform_ranks(1, 1_000_000, 0));
+        assert!((pred.mflops_per_pe - 500.0).abs() < 1.0, "{}", pred.mflops_per_pe);
+    }
+
+    #[test]
+    fn efficiency_degrades_with_granularity() {
+        // Fixed problem, growing P: fewer elements per PE -> comm overhead
+        // share grows -> efficiency falls monotonically.
+        let m = MachineModel::default();
+        let single = m.predict_step(&uniform_ranks(1, 8_000_000, 0));
+        let mut last_eff = 1.01;
+        for &p in &[16usize, 128, 512, 2048] {
+            // Surface-to-volume: shared nodes ~ (elems/P)^(2/3) * 6.
+            let per = 8_000_000u64 / p as u64;
+            let shared = 6 * (per as f64).powf(2.0 / 3.0) as u64;
+            let pred = m.predict_step(&uniform_ranks(p, 8_000_000, shared));
+            let eff = m.efficiency(&single, &pred);
+            assert!(eff < last_eff, "P={p}: {eff} !< {last_eff}");
+            assert!(eff > 0.5, "P={p}: unreasonably low {eff}");
+            last_eff = eff;
+        }
+    }
+
+    #[test]
+    fn weak_scaling_stays_efficient() {
+        // Constant elements per PE and constant surface: efficiency ~ 1.
+        let m = MachineModel::default();
+        let single = m.predict_step(&uniform_ranks(1, 100_000, 0));
+        let per = 100_000u64;
+        let shared = 6 * (per as f64).powf(2.0 / 3.0) as u64;
+        let pred = m.predict_step(&uniform_ranks(1024, per * 1024, shared));
+        let eff = m.efficiency(&single, &pred);
+        assert!(eff > 0.85, "weak scaling efficiency {eff}");
+    }
+
+    #[test]
+    fn imbalance_hurts() {
+        let m = MachineModel::default();
+        let balanced = m.predict_step(&uniform_ranks(4, 4_000_000, 1000));
+        let mut skewed = uniform_ranks(4, 4_000_000, 1000);
+        skewed[0].flops *= 2; // one overloaded rank
+        let bad = m.predict_step(&skewed);
+        assert!(bad.step_time > 1.4 * balanced.step_time);
+        assert!(bad.mflops_per_pe < balanced.mflops_per_pe);
+    }
+
+    #[test]
+    fn calibration_reproduces_measured_rate() {
+        let m = MachineModel::calibrated(2_000_000_000, 4.0);
+        assert!((m.flops_per_sec_per_pe - 5e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn flop_counts_scale_linearly() {
+        let a = flops::elastic_total(100, 120, 10, 50);
+        let b = flops::elastic_total(200, 240, 20, 50);
+        assert_eq!(2 * a, b);
+        assert!(flops::ELASTIC_HEX_ELEMENT > flops::SCALAR_HEX_ELEMENT);
+    }
+}

@@ -1,0 +1,273 @@
+//! Element partitioning and communication plans (the ParMETIS substitute).
+//!
+//! Two partitioners are provided:
+//!
+//! - [`partition_morton`]: contiguous chunks of the Morton-ordered element
+//!   list — the natural zero-cost partition of a linear octree (space-filling
+//!   curve partitioning),
+//! - [`partition_rcb`]: recursive coordinate bisection on element centroids.
+//!
+//! [`ExchangePlan`] derives, for any partition, the shared-node lists each
+//! rank pair must sum-exchange every time step, plus the statistics shown in
+//! Fig 2.3d (balance, interface size).
+
+use crate::hexmesh::HexMesh;
+
+/// Assign elements to `n_parts` contiguous Morton chunks of equal count.
+pub fn partition_morton(n_elements: usize, n_parts: usize) -> Vec<u32> {
+    assert!(n_parts > 0);
+    (0..n_elements)
+        .map(|i| ((i as u64 * n_parts as u64) / n_elements.max(1) as u64) as u32)
+        .collect()
+}
+
+/// Recursive coordinate bisection on element centroids.
+pub fn partition_rcb(centroids: &[[f64; 3]], n_parts: usize) -> Vec<u32> {
+    assert!(n_parts > 0);
+    let mut out = vec![0u32; centroids.len()];
+    let mut idx: Vec<usize> = (0..centroids.len()).collect();
+    rcb_rec(centroids, &mut idx, 0, n_parts as u32, &mut out);
+    out
+}
+
+fn rcb_rec(c: &[[f64; 3]], idx: &mut [usize], first_part: u32, n_parts: u32, out: &mut [u32]) {
+    if n_parts == 1 || idx.len() <= 1 {
+        for &i in idx.iter() {
+            out[i] = first_part;
+        }
+        return;
+    }
+    // Split along the axis of largest centroid extent.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &i in idx.iter() {
+        for d in 0..3 {
+            lo[d] = lo[d].min(c[i][d]);
+            hi[d] = hi[d].max(c[i][d]);
+        }
+    }
+    let axis = (0..3).max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b]))).unwrap();
+    let left_parts = n_parts / 2;
+    let split = idx.len() * left_parts as usize / n_parts as usize;
+    idx.select_nth_unstable_by(split.min(idx.len() - 1), |&a, &b| {
+        c[a][axis].total_cmp(&c[b][axis])
+    });
+    let (l, r) = idx.split_at_mut(split);
+    rcb_rec(c, l, first_part, left_parts, out);
+    rcb_rec(c, r, first_part + left_parts, n_parts - left_parts, out);
+}
+
+/// Partition quality + communication statistics.
+#[derive(Clone, Debug)]
+pub struct PartitionStats {
+    pub n_parts: usize,
+    pub elements_per_part: Vec<usize>,
+    /// max / average element count.
+    pub imbalance: f64,
+    /// Nodes touched by elements of more than one part.
+    pub interface_nodes: usize,
+    /// Sum over nodes of (touching parts choose 2) — the pairwise
+    /// communication volume in node values per exchange.
+    pub cut_pairs: usize,
+    /// Largest number of neighbor parts of any part.
+    pub max_neighbors: usize,
+}
+
+/// Shared-node exchange lists: `plan[p]` is a sorted list of
+/// `(neighbor_part, shared_node_ids)`; both sides hold identical node lists,
+/// so a sum-exchange is a single buffer swap + add.
+#[derive(Clone, Debug)]
+pub struct ExchangePlan {
+    pub plans: Vec<Vec<(u32, Vec<u32>)>>,
+    pub stats: PartitionStats,
+}
+
+impl ExchangePlan {
+    pub fn build(mesh: &HexMesh, parts: &[u32], n_parts: usize) -> ExchangePlan {
+        assert_eq!(parts.len(), mesh.n_elements());
+        // Which parts touch each node.
+        let mut node_parts: Vec<Vec<u32>> = vec![Vec::new(); mesh.n_nodes()];
+        for (e, &p) in mesh.elements.iter().zip(parts) {
+            for &n in &e.nodes {
+                let v = &mut node_parts[n as usize];
+                if !v.contains(&p) {
+                    v.push(p);
+                }
+            }
+        }
+        // Hanging-node constraints couple a hanging node's parts to its
+        // masters' parts (the fold/interpolate steps communicate too).
+        for c in &mesh.constraints {
+            let hp = node_parts[c.node as usize].clone();
+            for &(m, _) in &c.masters {
+                for &p in &hp {
+                    let v = &mut node_parts[m as usize];
+                    if !v.contains(&p) {
+                        v.push(p);
+                    }
+                }
+            }
+        }
+
+        let mut pair_nodes: std::collections::BTreeMap<(u32, u32), Vec<u32>> =
+            std::collections::BTreeMap::new();
+        let mut interface_nodes = 0;
+        let mut cut_pairs = 0;
+        for (n, ps) in node_parts.iter().enumerate() {
+            if ps.len() > 1 {
+                interface_nodes += 1;
+                let mut sorted = ps.clone();
+                sorted.sort_unstable();
+                for i in 0..sorted.len() {
+                    for j in i + 1..sorted.len() {
+                        cut_pairs += 1;
+                        pair_nodes.entry((sorted[i], sorted[j])).or_default().push(n as u32);
+                    }
+                }
+            }
+        }
+
+        let mut plans: Vec<Vec<(u32, Vec<u32>)>> = vec![Vec::new(); n_parts];
+        for ((a, b), nodes) in pair_nodes {
+            plans[a as usize].push((b, nodes.clone()));
+            plans[b as usize].push((a, nodes));
+        }
+        for p in &mut plans {
+            p.sort_by_key(|(q, _)| *q);
+        }
+
+        let mut elements_per_part = vec![0usize; n_parts];
+        for &p in parts {
+            elements_per_part[p as usize] += 1;
+        }
+        let max = elements_per_part.iter().copied().max().unwrap_or(0);
+        let avg = mesh.n_elements() as f64 / n_parts as f64;
+        let stats = PartitionStats {
+            n_parts,
+            imbalance: max as f64 / avg.max(1e-300),
+            elements_per_part,
+            interface_nodes,
+            cut_pairs,
+            max_neighbors: plans.iter().map(Vec::len).max().unwrap_or(0),
+        };
+        ExchangePlan { plans, stats }
+    }
+
+    /// Total node values exchanged per step by rank `p`.
+    pub fn exchange_volume(&self, p: usize) -> usize {
+        self.plans[p].iter().map(|(_, v)| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hexmesh::ElemMaterial;
+    use quake_octree::LinearOctree;
+
+    fn mesh(level: u8) -> HexMesh {
+        HexMesh::from_octree(&LinearOctree::uniform(level), 1.0, |_, _, _, _| ElemMaterial {
+            lambda: 1.0,
+            mu: 1.0,
+            rho: 1.0,
+        })
+    }
+
+    #[test]
+    fn morton_partition_is_contiguous_and_balanced() {
+        let p = partition_morton(100, 8);
+        assert_eq!(p.len(), 100);
+        // Non-decreasing (contiguous chunks) and balanced to within 1.
+        assert!(p.windows(2).all(|w| w[0] <= w[1]));
+        let mut counts = [0usize; 8];
+        for &x in &p {
+            counts[x as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 12 || c == 13));
+    }
+
+    #[test]
+    fn rcb_is_balanced_and_spatially_compact() {
+        let m = mesh(3); // 512 elements
+        let centroids: Vec<[f64; 3]> = m
+            .elements
+            .iter()
+            .map(|e| {
+                let lo = m.coords[e.nodes[0] as usize];
+                [lo[0] + e.h / 2.0, lo[1] + e.h / 2.0, lo[2] + e.h / 2.0]
+            })
+            .collect();
+        let parts = partition_rcb(&centroids, 8);
+        let mut counts = [0usize; 8];
+        for &p in &parts {
+            counts[p as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 64), "{counts:?}");
+        // Compactness: 8 parts of a cube should be the octants; every part's
+        // bounding box has half the domain extent.
+        for target in 0..8u32 {
+            let mut lo = [f64::INFINITY; 3];
+            let mut hi = [f64::NEG_INFINITY; 3];
+            for (c, &p) in centroids.iter().zip(&parts) {
+                if p == target {
+                    for d in 0..3 {
+                        lo[d] = lo[d].min(c[d]);
+                        hi[d] = hi[d].max(c[d]);
+                    }
+                }
+            }
+            for d in 0..3 {
+                assert!(hi[d] - lo[d] < 0.5, "part {target} spans {:?}", hi[d] - lo[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_plan_is_symmetric_with_identical_node_lists() {
+        let m = mesh(2);
+        let parts = partition_morton(m.n_elements(), 4);
+        let plan = ExchangePlan::build(&m, &parts, 4);
+        for p in 0..4usize {
+            for (q, nodes) in &plan.plans[p] {
+                let back = plan.plans[*q as usize]
+                    .iter()
+                    .find(|(r, _)| *r == p as u32)
+                    .expect("exchange must be symmetric");
+                assert_eq!(&back.1, nodes);
+            }
+        }
+        assert!(plan.stats.interface_nodes > 0);
+        assert!((plan.stats.imbalance - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn single_part_has_no_interfaces() {
+        let m = mesh(2);
+        let parts = partition_morton(m.n_elements(), 1);
+        let plan = ExchangePlan::build(&m, &parts, 1);
+        assert_eq!(plan.stats.interface_nodes, 0);
+        assert_eq!(plan.stats.cut_pairs, 0);
+        assert!(plan.plans[0].is_empty());
+    }
+
+    #[test]
+    fn rcb_beats_or_matches_morton_on_interface_size_for_cube() {
+        let m = mesh(3);
+        let centroids: Vec<[f64; 3]> = m
+            .elements
+            .iter()
+            .map(|e| {
+                let lo = m.coords[e.nodes[0] as usize];
+                [lo[0] + e.h / 2.0, lo[1] + e.h / 2.0, lo[2] + e.h / 2.0]
+            })
+            .collect();
+        let pm = ExchangePlan::build(&m, &partition_morton(m.n_elements(), 8), 8);
+        let pr = ExchangePlan::build(&m, &partition_rcb(&centroids, 8), 8);
+        assert!(
+            pr.stats.interface_nodes <= pm.stats.interface_nodes,
+            "rcb {} vs morton {}",
+            pr.stats.interface_nodes,
+            pm.stats.interface_nodes
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Mesh summaries (the numbers behind Fig 2.3 and the etree table).
+
+use crate::hexmesh::HexMesh;
+
+/// Aggregate statistics of a hexahedral mesh.
+#[derive(Clone, Debug)]
+pub struct MeshStats {
+    pub n_elements: usize,
+    pub n_nodes: usize,
+    pub n_hanging: usize,
+    pub hanging_fraction: f64,
+    /// Elements per octree level (index = level).
+    pub level_histogram: Vec<usize>,
+    pub h_min: f64,
+    pub h_max: f64,
+    pub vs_min: f64,
+    pub vs_max: f64,
+    /// Solver memory estimate for a 3-component field (bytes).
+    pub memory_bytes: usize,
+}
+
+impl MeshStats {
+    pub fn compute(mesh: &HexMesh) -> MeshStats {
+        let mut level_histogram = Vec::new();
+        let (mut h_min, mut h_max) = (f64::INFINITY, 0.0f64);
+        let (mut vs_min, mut vs_max) = (f64::INFINITY, 0.0f64);
+        for e in &mesh.elements {
+            if level_histogram.len() <= e.level as usize {
+                level_histogram.resize(e.level as usize + 1, 0);
+            }
+            level_histogram[e.level as usize] += 1;
+            h_min = h_min.min(e.h);
+            h_max = h_max.max(e.h);
+            let vs = e.material.vs();
+            vs_min = vs_min.min(vs);
+            vs_max = vs_max.max(vs);
+        }
+        MeshStats {
+            n_elements: mesh.n_elements(),
+            n_nodes: mesh.n_nodes(),
+            n_hanging: mesh.n_hanging(),
+            hanging_fraction: mesh.n_hanging() as f64 / mesh.n_nodes().max(1) as f64,
+            level_histogram,
+            h_min,
+            h_max,
+            vs_min,
+            vs_max,
+            memory_bytes: mesh.memory_estimate_bytes(3),
+        }
+    }
+
+    /// Multi-line human-readable report.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "elements {}  nodes {}  hanging {} ({:.1}%)\n",
+            self.n_elements,
+            self.n_nodes,
+            self.n_hanging,
+            100.0 * self.hanging_fraction
+        ));
+        s.push_str(&format!(
+            "h: {:.1} .. {:.1} m   vs: {:.0} .. {:.0} m/s   mem ~ {:.1} MB\n",
+            self.h_min,
+            self.h_max,
+            self.vs_min,
+            self.vs_max,
+            self.memory_bytes as f64 / 1e6
+        ));
+        for (level, n) in self.level_histogram.iter().enumerate() {
+            if *n > 0 {
+                s.push_str(&format!("  level {level:2}: {n} elements\n"));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hexmesh::ElemMaterial;
+    use quake_octree::LinearOctree;
+
+    #[test]
+    fn stats_of_uniform_mesh() {
+        let m = HexMesh::from_octree(&LinearOctree::uniform(2), 100.0, |_, _, _, _| {
+            ElemMaterial { lambda: 2e9, mu: 1e9, rho: 2000.0 }
+        });
+        let s = MeshStats::compute(&m);
+        assert_eq!(s.n_elements, 64);
+        assert_eq!(s.n_nodes, 125);
+        assert_eq!(s.level_histogram, vec![0, 0, 64]);
+        assert!((s.h_min - 25.0).abs() < 1e-12);
+        assert_eq!(s.h_min, s.h_max);
+        assert!((s.vs_min - (1e9f64 / 2000.0).sqrt()).abs() < 1e-9);
+        assert!(s.report().contains("level  2: 64 elements"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Elementwise least-squares Rayleigh damping.
+//!
+//! Material attenuation enters the discrete system as `alpha M + beta K`
+//! (Section 2.2). Rayleigh damping gives a frequency-dependent damping ratio
+//!
+//! ```text
+//! zeta(omega) = alpha / (2 omega) + beta omega / 2
+//! ```
+//!
+//! which both blows up at low frequency and grows at high frequency; the
+//! paper therefore fits `(alpha, beta)` *per element* by least squares so
+//! that `zeta` is as close as possible to the constant target dictated by
+//! the local soil type over the band of interest. (Very low and very high
+//! frequencies end up overdamped — the known limitation the paper notes.)
+
+/// A fitted Rayleigh pair and its residual.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RayleighFit {
+    pub alpha: f64,
+    pub beta: f64,
+    /// RMS deviation of `zeta(omega)` from the target over the band.
+    pub rms_error: f64,
+}
+
+/// Damping ratio of a Rayleigh pair at angular frequency `omega`.
+pub fn rayleigh_zeta(alpha: f64, beta: f64, omega: f64) -> f64 {
+    0.5 * (alpha / omega + beta * omega)
+}
+
+/// Least-squares fit of `(alpha, beta)` so that `zeta(omega) ~ zeta_target`
+/// for `omega` in `[2 pi f_lo, 2 pi f_hi]` (uniformly sampled at `n` points).
+///
+/// The target comes from the local soil: the paper keys it to soil type; a
+/// common seismological choice is `zeta = vs_ref / (2 Q vs)`-style rules —
+/// callers pick the target, we do the fit.
+pub fn fit_rayleigh(zeta_target: f64, f_lo: f64, f_hi: f64, n: usize) -> RayleighFit {
+    assert!(zeta_target >= 0.0, "damping ratio must be non-negative");
+    assert!(f_lo > 0.0 && f_hi > f_lo, "need 0 < f_lo < f_hi");
+    assert!(n >= 2, "need at least two sample frequencies");
+    // zeta = a * x1(w) + b * x2(w), x1 = 1/(2w), x2 = w/2: linear LSQ with a
+    // 2x2 normal system.
+    let (mut s11, mut s12, mut s22, mut r1, mut r2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for i in 0..n {
+        let f = f_lo + (f_hi - f_lo) * i as f64 / (n - 1) as f64;
+        let w = 2.0 * std::f64::consts::PI * f;
+        let x1 = 0.5 / w;
+        let x2 = 0.5 * w;
+        s11 += x1 * x1;
+        s12 += x1 * x2;
+        s22 += x2 * x2;
+        r1 += x1 * zeta_target;
+        r2 += x2 * zeta_target;
+    }
+    let det = s11 * s22 - s12 * s12;
+    assert!(det > 0.0, "degenerate frequency band");
+    let alpha = (s22 * r1 - s12 * r2) / det;
+    let beta = (s11 * r2 - s12 * r1) / det;
+    let mut sq = 0.0;
+    for i in 0..n {
+        let f = f_lo + (f_hi - f_lo) * i as f64 / (n - 1) as f64;
+        let w = 2.0 * std::f64::consts::PI * f;
+        let e = rayleigh_zeta(alpha, beta, w) - zeta_target;
+        sq += e * e;
+    }
+    RayleighFit { alpha, beta, rms_error: (sq / n as f64).sqrt() }
+}
+
+/// A simple soil-type rule for the damping-ratio target: softer soils damp
+/// more. `zeta = min(0.05, 25 / vs)` — e.g. 5% for vs <= 500 m/s falling to
+/// ~0.8% for hard rock at 3000 m/s.
+pub fn damping_target_for_vs(vs: f64) -> f64 {
+    assert!(vs > 0.0);
+    (25.0 / vs).min(0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_target_gives_zero_damping() {
+        let f = fit_rayleigh(0.0, 0.1, 2.0, 16);
+        assert_eq!(f.alpha, 0.0);
+        assert_eq!(f.beta, 0.0);
+        assert_eq!(f.rms_error, 0.0);
+    }
+
+    #[test]
+    fn fit_is_close_to_target_inside_band() {
+        let target = 0.05;
+        let fit = fit_rayleigh(target, 0.2, 2.0, 64);
+        assert!(fit.alpha > 0.0 && fit.beta > 0.0);
+        // Inside the band, zeta within ~30% of the target.
+        for f in [0.3, 0.5, 1.0, 1.8] {
+            let w = 2.0 * std::f64::consts::PI * f;
+            let z = rayleigh_zeta(fit.alpha, fit.beta, w);
+            assert!((z - target).abs() < 0.3 * target, "f={f}: zeta={z}");
+        }
+        assert!(fit.rms_error < 0.2 * target);
+    }
+
+    #[test]
+    fn out_of_band_frequencies_are_overdamped() {
+        // The known Rayleigh limitation the paper notes.
+        let target = 0.05;
+        let fit = fit_rayleigh(target, 0.2, 2.0, 64);
+        let z_low = rayleigh_zeta(fit.alpha, fit.beta, 2.0 * std::f64::consts::PI * 0.01);
+        let z_high = rayleigh_zeta(fit.alpha, fit.beta, 2.0 * std::f64::consts::PI * 20.0);
+        assert!(z_low > 2.0 * target, "low-frequency overdamping: {z_low}");
+        assert!(z_high > 2.0 * target, "high-frequency overdamping: {z_high}");
+    }
+
+    #[test]
+    fn soil_rule_is_monotone_and_capped() {
+        assert_eq!(damping_target_for_vs(100.0), 0.05);
+        assert_eq!(damping_target_for_vs(500.0), 0.05);
+        assert!(damping_target_for_vs(1000.0) < damping_target_for_vs(600.0));
+        assert!((damping_target_for_vs(2500.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_exact_when_one_frequency_pair_spans_target() {
+        // With exactly two sample points the 2-parameter fit interpolates.
+        let target = 0.03;
+        let fit = fit_rayleigh(target, 0.5, 1.5, 2);
+        for f in [0.5, 1.5] {
+            let w = 2.0 * std::f64::consts::PI * f;
+            assert!((rayleigh_zeta(fit.alpha, fit.beta, w) - target).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! A synthetic LA-Basin velocity model.
+//!
+//! Substitutes for the SCEC Community Velocity Model (DESIGN.md): two
+//! Gaussian sedimentary bowls (the San Fernando Valley and the Los Angeles
+//! Basin proper) carved into layered bedrock, with a soft-sediment velocity
+//! profile whose surface shear velocity is configurable down to the paper's
+//! 100 m/s floor. What matters for the algorithms is preserved: ~1.5 decades
+//! of shear-wavelength contrast concentrated in shallow pockets, smooth
+//! lateral variation, and a sharp sediment/bedrock interface.
+
+use crate::material::{Material, MaterialModel};
+
+/// Synthetic LA-Basin model over an `extent x extent x extent` box
+/// (meters; `z` down).
+#[derive(Clone, Debug)]
+pub struct LaBasinModel {
+    /// Horizontal domain edge (m). The paper's box is 80 km.
+    pub extent: f64,
+    /// Surface shear velocity floor in the deepest basin (m/s).
+    pub vs_min: f64,
+    /// Basin bowls: (center_x, center_y, radius, max_depth), meters.
+    bowls: Vec<[f64; 4]>,
+}
+
+impl LaBasinModel {
+    /// The default two-bowl model on an 80 km box.
+    pub fn standard(vs_min: f64) -> LaBasinModel {
+        assert!(vs_min >= 50.0 && vs_min < 1000.0, "vs_min {vs_min} out of range");
+        LaBasinModel {
+            extent: 80_000.0,
+            vs_min,
+            bowls: vec![
+                // San Fernando Valley analogue: smaller, shallower bowl NW.
+                [25_000.0, 30_000.0, 12_000.0, 5_000.0],
+                // LA Basin proper: large deep bowl SE.
+                [52_000.0, 50_000.0, 18_000.0, 9_000.0],
+            ],
+        }
+    }
+
+    /// A scaled copy: same shape on a domain of edge `extent` meters, bowls
+    /// scaled proportionally. Used for the small meshes of the scalability
+    /// series (LA10S .. LA1HB analogues).
+    pub fn scaled(vs_min: f64, extent: f64) -> LaBasinModel {
+        let std = LaBasinModel::standard(vs_min);
+        let s = extent / std.extent;
+        LaBasinModel {
+            extent,
+            vs_min,
+            bowls: std
+                .bowls
+                .iter()
+                .map(|b| [b[0] * s, b[1] * s, b[2] * s, b[3] * s])
+                .collect(),
+        }
+    }
+
+    /// Depth of the sediment/bedrock interface under `(x, y)` (m; 0 =
+    /// no sediments here).
+    pub fn basin_depth(&self, x: f64, y: f64) -> f64 {
+        let d = self
+            .bowls
+            .iter()
+            .map(|b| {
+                let r2 = ((x - b[0]).powi(2) + (y - b[1]).powi(2)) / (b[2] * b[2]);
+                b[3] * (-3.0 * r2).exp()
+            })
+            .fold(0.0, f64::max);
+        // The Gaussian tails never vanish; below a meter of fill this is
+        // outcropping bedrock, not a basin.
+        if d < 1.0 {
+            0.0
+        } else {
+            d
+        }
+    }
+
+    /// Sediment shear velocity at depth `z` where the local basin depth is
+    /// `b`: a sqrt-profile from the surface floor to the bedrock contact.
+    fn sediment_vs(&self, z: f64, b: f64) -> f64 {
+        // Scale the surface value with bowl depth: deepest bowl reaches the
+        // configured floor; shallow edges are somewhat stiffer.
+        let deepest = self.bowls.iter().map(|w| w[3]).fold(0.0, f64::max);
+        let vs_surf = self.vs_min * (1.0 + 2.0 * (1.0 - (b / deepest).min(1.0)));
+        let vs_bottom = 2200.0;
+        vs_surf + (vs_bottom - vs_surf) * (z / b).clamp(0.0, 1.0).sqrt()
+    }
+
+    /// Bedrock shear velocity (depth-dependent crustal gradient).
+    fn bedrock_vs(&self, z: f64) -> f64 {
+        // 2.8 km/s near the surface to 4.5 km/s at ~20 km depth.
+        (2800.0 + z * 0.085).min(4500.0)
+    }
+}
+
+/// Gardner's relation for density (vp in m/s -> rho in kg/m^3), floored to
+/// avoid unrealistically light shallow sediments.
+fn gardner_rho(vp: f64) -> f64 {
+    (1741.0 * (vp / 1000.0).powf(0.25)).max(1600.0)
+}
+
+impl MaterialModel for LaBasinModel {
+    fn sample(&self, x: f64, y: f64, z: f64) -> Material {
+        let b = self.basin_depth(x, y);
+        let vs = if z < b { self.sediment_vs(z, b) } else { self.bedrock_vs(z) };
+        // Poisson-solid-ish vp, but soft sediments are water-saturated:
+        // vp never below ~1500 m/s.
+        let vp = (vs * 3.0f64.sqrt()).max(1500.0);
+        Material { vp, vs, rho: gardner_rho(vp) }
+    }
+
+    fn min_vs_in_box(&self, lo: [f64; 3], hi: [f64; 3]) -> f64 {
+        // vs decreases toward the surface and toward bowl centers; probing a
+        // 3x3 grid on the box top plus the default probes is sufficient for
+        // this smooth model.
+        let mut min = f64::INFINITY;
+        for i in 0..3 {
+            for j in 0..3 {
+                let x = lo[0] + (hi[0] - lo[0]) * i as f64 / 2.0;
+                let y = lo[1] + (hi[1] - lo[1]) * j as f64 / 2.0;
+                let m = self.sample(x, y, lo[2]);
+                min = min.min(m.vs);
+            }
+        }
+        let mid = [(lo[0] + hi[0]) / 2.0, (lo[1] + hi[1]) / 2.0, (lo[2] + hi[2]) / 2.0];
+        min.min(self.sample(mid[0], mid[1], mid[2]).vs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_of_deep_basin_hits_vs_floor() {
+        let m = LaBasinModel::standard(100.0);
+        // Center of the LA bowl.
+        let mat = m.sample(52_000.0, 50_000.0, 0.0);
+        assert!(mat.vs < 110.0, "vs at basin center surface: {}", mat.vs);
+        mat.validate();
+    }
+
+    #[test]
+    fn bedrock_far_from_basins_is_stiff() {
+        let m = LaBasinModel::standard(100.0);
+        let mat = m.sample(2_000.0, 2_000.0, 0.0);
+        assert!(mat.vs > 2500.0, "vs in bedrock: {}", mat.vs);
+        let deep = m.sample(2_000.0, 2_000.0, 20_000.0);
+        assert!(deep.vs >= 4400.0);
+    }
+
+    #[test]
+    fn velocity_increases_with_depth_in_basin() {
+        let m = LaBasinModel::standard(100.0);
+        let (x, y) = (52_000.0, 50_000.0);
+        let mut last = 0.0;
+        for k in 0..20 {
+            let z = k as f64 * 500.0;
+            let vs = m.sample(x, y, z).vs;
+            assert!(vs >= last, "vs not monotone at z={z}: {vs} < {last}");
+            last = vs;
+        }
+    }
+
+    #[test]
+    fn sediment_bedrock_interface_is_sharp() {
+        let m = LaBasinModel::standard(200.0);
+        let (x, y) = (52_000.0, 50_000.0);
+        let b = m.basin_depth(x, y);
+        let above = m.sample(x, y, b - 1.0).vs;
+        let below = m.sample(x, y, b + 1.0).vs;
+        assert!(below - above > 500.0, "interface jump {above} -> {below}");
+    }
+
+    #[test]
+    fn all_samples_are_physical() {
+        let m = LaBasinModel::standard(100.0);
+        for i in 0..10 {
+            for j in 0..10 {
+                for k in 0..10 {
+                    let mat = m.sample(
+                        i as f64 * 8_000.0,
+                        j as f64 * 8_000.0,
+                        k as f64 * 2_500.0,
+                    );
+                    mat.validate();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_model_preserves_velocity_range() {
+        let full = LaBasinModel::standard(100.0);
+        let small = LaBasinModel::scaled(100.0, 10_000.0);
+        // Same vs at proportional positions (depth scales with the bowls).
+        let a = full.sample(52_000.0, 50_000.0, 0.0).vs;
+        let b = small.sample(6_500.0, 6_250.0, 0.0).vs;
+        assert!((a - b).abs() < 1.0, "{a} vs {b}");
+    }
+
+    #[test]
+    fn min_vs_in_box_not_larger_than_center_sample() {
+        let m = LaBasinModel::standard(100.0);
+        let lo = [45_000.0, 45_000.0, 0.0];
+        let hi = [60_000.0, 60_000.0, 5_000.0];
+        let min = m.min_vs_in_box(lo, hi);
+        let center = m.sample(52_500.0, 52_500.0, 2_500.0);
+        assert!(min <= center.vs);
+        assert!(min >= 100.0);
+    }
+}

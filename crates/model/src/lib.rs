@@ -1,0 +1,34 @@
+//! Material and source models for earthquake simulation.
+//!
+//! The paper drives its meshes and solvers from the SCEC Community Velocity
+//! Model of the LA Basin and an idealized model of the 1994 Northridge
+//! rupture. Neither dataset ships with this reproduction, so this crate
+//! provides synthetic equivalents that exercise the same code paths (see
+//! DESIGN.md for the substitution rationale):
+//!
+//! - [`material`]: the [`material::MaterialModel`] trait plus homogeneous and
+//!   layered-halfspace models,
+//! - [`labasin`]: a synthetic LA-basin velocity model — Gaussian-bowl basin
+//!   geometry with a soft-sediment velocity profile over stiff bedrock,
+//! - [`section2d`]: the 2-D basin cross-section used as the inversion target
+//!   in Section 3 (Fig 3.2),
+//! - [`source`]: dislocation slip functions `g(t; T, t0)` with analytic
+//!   parameter derivatives (needed by the source inversion), double-couple
+//!   moment tensors from (strike, dip, rake), and extended-fault ruptures,
+//! - [`attenuation`]: the elementwise least-squares Rayleigh damping fit
+//!   (`alpha M + beta K` matched to a target damping ratio over a band).
+//!
+//! Coordinate convention everywhere: `x` north, `y` east, `z` down (depth
+//! positive), following Aki & Richards.
+
+pub mod attenuation;
+pub mod labasin;
+pub mod material;
+pub mod section2d;
+pub mod source;
+
+pub use attenuation::{fit_rayleigh, RayleighFit};
+pub use labasin::LaBasinModel;
+pub use material::{layer_over_halfspace, HomogeneousModel, LayeredModel, Material, MaterialModel};
+pub use section2d::Section2d;
+pub use source::{DoubleCouple, ExtendedFault, PointSource, SlipFunction};

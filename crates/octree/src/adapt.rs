@@ -1,0 +1,165 @@
+//! Wavelength-adaptive octree construction.
+//!
+//! Given a local shear-wave velocity field `vs(x)`, the highest frequency to
+//! resolve `fmax` and a points-per-wavelength target `p` (the paper uses
+//! p = 10 for trilinear hexes), the local element size must satisfy
+//!
+//! ```text
+//! h <= vs / (p * fmax)
+//! ```
+//!
+//! Soft sediments (low `vs`) therefore get small elements and stiff bedrock
+//! large ones — the mechanism that buys the paper its factor-~2000 grid-point
+//! saving over a uniform mesh.
+
+use crate::octant::Octant;
+use crate::tree::{BalanceMode, LinearOctree};
+
+/// Parameters for wavelength-adaptive refinement.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptParams {
+    /// Physical edge length of the (cubic) meshed domain in meters.
+    pub domain_size: f64,
+    /// Highest frequency to resolve (Hz).
+    pub fmax: f64,
+    /// Grid points per shortest wavelength (paper: 10).
+    pub points_per_wavelength: f64,
+    /// Hard cap on refinement depth (also bounded by `MAX_LEVEL`).
+    pub max_level: u8,
+    /// Floor on refinement depth (elements never coarser than this).
+    pub min_level: u8,
+}
+
+impl AdaptParams {
+    /// Target maximum element size for local shear velocity `vs` (m/s).
+    pub fn target_h(&self, vs: f64) -> f64 {
+        assert!(vs > 0.0, "shear velocity must be positive, got {vs}");
+        vs / (self.points_per_wavelength * self.fmax)
+    }
+}
+
+/// Build a wavelength-adaptive, 2-to-1 balanced octree.
+///
+/// `vs_min_in` must return a lower bound for the shear velocity inside the
+/// given octant (sampling the center and corners of the octant is typical;
+/// the driver in `quake-mesh` does exactly that). An octant is refined while
+/// its physical size exceeds the target `h` of that bound.
+pub fn build_wavelength_adaptive(
+    params: &AdaptParams,
+    mut vs_min_in: impl FnMut(&Octant, f64) -> f64,
+) -> LinearOctree {
+    let l = params.domain_size;
+    let mut tree = LinearOctree::build(|o| {
+        if o.level < params.min_level {
+            return true;
+        }
+        if o.level >= params.max_level {
+            return false;
+        }
+        let h = o.size_unit() * l;
+        let vs = vs_min_in(o, l);
+        h > params.target_h(vs)
+    });
+    tree.balance(BalanceMode::Full);
+    tree
+}
+
+/// Number of grid points a *uniform* mesh resolving the same `fmax` with the
+/// same `p` at the globally smallest velocity would need — the paper's
+/// "factor of ~2000" comparison (Section 2.4).
+pub fn uniform_equivalent_points(params: &AdaptParams, vs_min_global: f64) -> u128 {
+    let h = params.target_h(vs_min_global);
+    let n = (params.domain_size / h).ceil() as u128 + 1;
+    n * n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(fmax: f64) -> AdaptParams {
+        AdaptParams {
+            domain_size: 1000.0,
+            fmax,
+            points_per_wavelength: 10.0,
+            max_level: 7,
+            min_level: 1,
+        }
+    }
+
+    #[test]
+    fn homogeneous_medium_gives_uniform_tree() {
+        // vs = 1000 m/s, fmax = 0.5 Hz -> h_target = 200 m -> level 3
+        // (h = 1000/2^3 = 125 <= 200; level 2 gives 250 > 200).
+        let p = params(0.5);
+        let t = build_wavelength_adaptive(&p, |_, _| 1000.0);
+        assert!(t.leaves().iter().all(|o| o.level == 3));
+        assert_eq!(t.len(), 512);
+    }
+
+    #[test]
+    fn soft_inclusion_refines_locally() {
+        // Soft half-space in the upper half (low z = shallow): refine there.
+        let p = params(0.5);
+        let t = build_wavelength_adaptive(&p, |o, l| {
+            let c = o.center_unit();
+            // The *minimum* vs inside octants straddling the interface is the
+            // soft value.
+            let z_top = c[2] - 0.5 * o.size_unit();
+            if z_top * l < 300.0 {
+                250.0
+            } else {
+                1000.0
+            }
+        });
+        assert!(t.validate_complete());
+        assert!(t.is_balanced(BalanceMode::Full));
+        // Soft region wants h <= 50 m -> level 5; stiff region level 3.
+        assert_eq!(t.max_level(), 5);
+        assert!(t.len() > 512);
+        // Shallow leaves are fine, deep leaves coarse.
+        for o in t.leaves() {
+            let c = o.center_unit();
+            if c[2] < 0.2 {
+                assert!(o.level >= 5, "shallow leaf too coarse: {o:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_frequency_octuples_elements() {
+        // The paper: each frequency doubling is ~8x the grid size.
+        let t1 = build_wavelength_adaptive(&params(0.25), |_, _| 500.0);
+        let t2 = build_wavelength_adaptive(&params(0.5), |_, _| 500.0);
+        assert_eq!(t2.len(), 8 * t1.len());
+    }
+
+    #[test]
+    fn uniform_equivalent_is_much_larger_for_heterogeneous_model() {
+        let p = params(1.0);
+        // Adaptive mesh for a model that is soft only in a thin layer.
+        let t = build_wavelength_adaptive(&p, |o, l| {
+            let c = o.center_unit();
+            let z_top = (c[2] - 0.5 * o.size_unit()) * l;
+            if z_top < 20.0 {
+                100.0
+            } else {
+                2000.0
+            }
+        });
+        let adaptive_elems = t.len() as u128;
+        let uniform_pts = uniform_equivalent_points(&p, 100.0);
+        // The paper reports a factor ~2000 for the real LA basin; a tiny test
+        // tree with its balance-transition layers still shows a solid 10x.
+        assert!(
+            uniform_pts > 10 * adaptive_elems,
+            "uniform {uniform_pts} vs adaptive {adaptive_elems}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_velocity_rejected() {
+        params(1.0).target_h(0.0);
+    }
+}

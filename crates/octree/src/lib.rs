@@ -1,0 +1,23 @@
+//! Linear octrees for multiresolution hexahedral meshing.
+//!
+//! The SC2003 meshes are *linear octrees*: the leaves of an octree over a
+//! cubic domain, each identified by a locational key that interleaves the
+//! Morton code of its lower corner with its level ([`morton`], [`octant`]).
+//! [`tree::LinearOctree`] stores the sorted leaf set and provides
+//! construction by recursive refinement ("auto-navigation" in etree
+//! terminology), point location, neighbor queries and 2-to-1 balancing;
+//! [`balance`] adds the paper's *local balancing* algorithm (block partition,
+//! internal balance, boundary balance); [`adapt`] builds wavelength-adaptive
+//! trees from a shear-velocity field (`h <= vs / (p * fmax)`).
+
+pub mod adapt;
+pub mod balance;
+pub mod morton;
+pub mod octant;
+pub mod tree;
+
+pub use adapt::build_wavelength_adaptive;
+pub use balance::balance_local;
+pub use morton::{morton_decode, morton_encode, MAX_LEVEL};
+pub use octant::Octant;
+pub use tree::{ripple, sample_point, BalanceMode, LinearOctree};

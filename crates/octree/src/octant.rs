@@ -1,0 +1,257 @@
+//! Octants: axis-aligned cubes on the virtual grid, with locational keys.
+
+use crate::morton::{morton_decode, morton_encode, GRID, LEVEL_BITS, MAX_LEVEL};
+
+/// An octant of an octree over the unit cube, addressed on the
+/// `2^MAX_LEVEL` virtual integer grid.
+///
+/// `(x, y, z)` is the lower corner in grid units and must be aligned to the
+/// octant's size `2^(MAX_LEVEL - level)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Octant {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+    pub level: u8,
+}
+
+impl Octant {
+    /// The root octant covering the whole domain.
+    pub const ROOT: Octant = Octant { x: 0, y: 0, z: 0, level: 0 };
+
+    pub fn new(x: u32, y: u32, z: u32, level: u8) -> Octant {
+        let o = Octant { x, y, z, level };
+        debug_assert!(level <= MAX_LEVEL);
+        debug_assert!(
+            x % o.size() == 0 && y % o.size() == 0 && z % o.size() == 0,
+            "octant corner not aligned to its size"
+        );
+        debug_assert!(x < GRID && y < GRID && z < GRID);
+        o
+    }
+
+    /// Edge length in virtual-grid units.
+    #[inline]
+    pub fn size(&self) -> u32 {
+        1 << (MAX_LEVEL - self.level)
+    }
+
+    /// Locational key: Morton code of the lower corner, then the level.
+    ///
+    /// Lexicographic order on keys = preorder traversal order; in particular
+    /// an ancestor sorts immediately before its first descendant.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        (morton_encode(self.x, self.y, self.z) << LEVEL_BITS) | self.level as u64
+    }
+
+    /// Inverse of [`Octant::key`].
+    pub fn from_key(key: u64) -> Octant {
+        let level = (key & ((1 << LEVEL_BITS) - 1)) as u8;
+        let (x, y, z) = morton_decode(key >> LEVEL_BITS);
+        Octant::new(x, y, z, level)
+    }
+
+    /// The `i`-th child (bit-coded: bit0 = +x, bit1 = +y, bit2 = +z).
+    pub fn child(&self, i: usize) -> Octant {
+        assert!(self.level < MAX_LEVEL, "cannot refine below MAX_LEVEL");
+        let s = self.size() / 2;
+        Octant::new(
+            self.x + if i & 1 != 0 { s } else { 0 },
+            self.y + if i & 2 != 0 { s } else { 0 },
+            self.z + if i & 4 != 0 { s } else { 0 },
+            self.level + 1,
+        )
+    }
+
+    /// All eight children, in Morton order.
+    pub fn children(&self) -> [Octant; 8] {
+        std::array::from_fn(|i| self.child(i))
+    }
+
+    /// The parent octant (None for the root).
+    pub fn parent(&self) -> Option<Octant> {
+        if self.level == 0 {
+            return None;
+        }
+        let s = self.size() * 2;
+        Some(Octant::new(self.x / s * s, self.y / s * s, self.z / s * s, self.level - 1))
+    }
+
+    /// The ancestor at `level` (<= self.level).
+    pub fn ancestor_at(&self, level: u8) -> Octant {
+        assert!(level <= self.level);
+        let s = 1u32 << (MAX_LEVEL - level);
+        Octant::new(self.x / s * s, self.y / s * s, self.z / s * s, level)
+    }
+
+    /// True if `self` contains (or equals) `other`.
+    pub fn contains(&self, other: &Octant) -> bool {
+        if other.level < self.level {
+            return false;
+        }
+        other.ancestor_at(self.level) == *self
+    }
+
+    /// True if the grid point `(px, py, pz)` lies inside this octant.
+    pub fn contains_point(&self, px: u32, py: u32, pz: u32) -> bool {
+        let s = self.size();
+        px >= self.x
+            && px < self.x + s
+            && py >= self.y
+            && py < self.y + s
+            && pz >= self.z
+            && pz < self.z + s
+    }
+
+    /// Center of the octant in unit-cube coordinates.
+    pub fn center_unit(&self) -> [f64; 3] {
+        let s = self.size() as f64;
+        let g = GRID as f64;
+        [
+            (self.x as f64 + 0.5 * s) / g,
+            (self.y as f64 + 0.5 * s) / g,
+            (self.z as f64 + 0.5 * s) / g,
+        ]
+    }
+
+    /// Lower corner in unit-cube coordinates.
+    pub fn corner_unit(&self) -> [f64; 3] {
+        let g = GRID as f64;
+        [self.x as f64 / g, self.y as f64 / g, self.z as f64 / g]
+    }
+
+    /// Edge length in unit-cube coordinates.
+    pub fn size_unit(&self) -> f64 {
+        self.size() as f64 / GRID as f64
+    }
+
+    /// Same-level neighbor displaced by `(dx, dy, dz)` octant-sizes; `None`
+    /// when it would leave the domain.
+    pub fn neighbor(&self, dx: i32, dy: i32, dz: i32) -> Option<Octant> {
+        let s = self.size() as i64;
+        let nx = self.x as i64 + dx as i64 * s;
+        let ny = self.y as i64 + dy as i64 * s;
+        let nz = self.z as i64 + dz as i64 * s;
+        let g = GRID as i64;
+        if nx < 0 || ny < 0 || nz < 0 || nx >= g || ny >= g || nz >= g {
+            return None;
+        }
+        Some(Octant::new(nx as u32, ny as u32, nz as u32, self.level))
+    }
+
+    /// The 26 neighbor direction triples (faces, edges, corners).
+    pub fn all_directions() -> impl Iterator<Item = (i32, i32, i32)> {
+        (-1..=1).flat_map(move |dx| {
+            (-1..=1).flat_map(move |dy| {
+                (-1..=1).filter_map(move |dz| {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        None
+                    } else {
+                        Some((dx, dy, dz))
+                    }
+                })
+            })
+        })
+    }
+
+    /// The 6 face directions.
+    pub fn face_directions() -> [(i32, i32, i32); 6] {
+        [(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)]
+    }
+}
+
+impl PartialOrd for Octant {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Octant {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn key_roundtrip_and_preorder() {
+        let o = Octant::new(0, 0, 0, 2);
+        assert_eq!(Octant::from_key(o.key()), o);
+        // Parent sorts before first child, child 0 before child 1.
+        let kids = o.children();
+        assert!(o.key() < kids[0].key());
+        for w in kids.windows(2) {
+            assert!(w[0].key() < w[1].key());
+        }
+    }
+
+    #[test]
+    fn children_tile_parent() {
+        let o = Octant::new(1 << 18, 0, 1 << 18, 1);
+        let mut vol = 0u64;
+        for c in o.children() {
+            assert!(o.contains(&c));
+            assert_eq!(c.parent(), Some(o));
+            vol += (c.size() as u64).pow(3);
+        }
+        assert_eq!(vol, (o.size() as u64).pow(3));
+    }
+
+    #[test]
+    fn neighbor_respects_domain_bounds() {
+        let o = Octant::new(0, 0, 0, 3);
+        assert!(o.neighbor(-1, 0, 0).is_none());
+        let n = o.neighbor(1, 0, 0).unwrap();
+        assert_eq!(n.x, o.size());
+        let far = Octant::new(GRID - (1 << (MAX_LEVEL - 3)), 0, 0, 3);
+        assert!(far.neighbor(1, 0, 0).is_none());
+    }
+
+    #[test]
+    fn ancestor_and_contains() {
+        let leaf = Octant::new(3 << 14, 5 << 14, 9 << 14, 5);
+        let anc = leaf.ancestor_at(2);
+        assert!(anc.contains(&leaf));
+        assert!(!leaf.contains(&anc));
+        assert!(anc.contains_point(leaf.x, leaf.y, leaf.z));
+    }
+
+    #[test]
+    fn directions_counts() {
+        assert_eq!(Octant::all_directions().count(), 26);
+        assert_eq!(Octant::face_directions().len(), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_key_roundtrip(xb in 0u32..256, yb in 0u32..256, zb in 0u32..256, level in 0u8..=8) {
+            let s = 1u32 << (MAX_LEVEL - level);
+            let o = Octant::new((xb % (1<<level)) * s, (yb % (1<<level)) * s, (zb % (1<<level)) * s, level);
+            prop_assert_eq!(Octant::from_key(o.key()), o);
+        }
+
+        #[test]
+        fn prop_child_parent_roundtrip(xb in 0u32..64, yb in 0u32..64, zb in 0u32..64, level in 0u8..=6, i in 0usize..8) {
+            let s = 1u32 << (MAX_LEVEL - level);
+            let o = Octant::new((xb % (1<<level)) * s, (yb % (1<<level)) * s, (zb % (1<<level)) * s, level);
+            prop_assert_eq!(o.child(i).parent(), Some(o));
+        }
+
+        #[test]
+        fn prop_descendant_keys_nest_between_siblings(i in 0usize..8, j in 0usize..8) {
+            // Every descendant of child i keys between child i and child i+1.
+            let o = Octant::ROOT;
+            let ci = o.child(i);
+            let desc = ci.child(j);
+            prop_assert!(desc.key() > ci.key());
+            if i < 7 {
+                prop_assert!(desc.key() < o.child(i + 1).key());
+            }
+        }
+    }
+}

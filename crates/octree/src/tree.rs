@@ -1,0 +1,337 @@
+//! Linear octrees: sorted leaf sets with construction, point location and
+//! 2-to-1 balancing.
+
+use crate::morton::{morton_encode, GRID, LEVEL_BITS, MAX_LEVEL};
+use crate::octant::Octant;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which neighbor relations the 2-to-1 constraint is enforced across.
+///
+/// The mesher uses [`BalanceMode::Full`] (faces, edges and corners), which
+/// keeps the hanging-node rules of the paper — midside = average of 2 edge
+/// masters, midface = average of 4 — sufficient everywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalanceMode {
+    /// Across shared faces only.
+    Face,
+    /// Faces and edges.
+    FaceEdge,
+    /// Faces, edges and corners (26-neighborhood).
+    Full,
+}
+
+impl BalanceMode {
+    fn admits(&self, d: (i32, i32, i32)) -> bool {
+        let taxicab = d.0.abs() + d.1.abs() + d.2.abs();
+        match self {
+            BalanceMode::Face => taxicab <= 1,
+            BalanceMode::FaceEdge => taxicab <= 2,
+            BalanceMode::Full => true,
+        }
+    }
+
+    /// The admitted direction set.
+    pub fn directions(&self) -> Vec<(i32, i32, i32)> {
+        Octant::all_directions().filter(|&d| self.admits(d)).collect()
+    }
+}
+
+/// A complete linear octree: the leaves, sorted by locational key.
+#[derive(Clone, Debug)]
+pub struct LinearOctree {
+    leaves: Vec<Octant>,
+}
+
+impl LinearOctree {
+    /// Build by recursive refinement from the root: `refine(o)` decides
+    /// whether octant `o` is subdivided. This is the in-core equivalent of
+    /// the etree *auto-navigation* construct step.
+    pub fn build(mut refine: impl FnMut(&Octant) -> bool) -> LinearOctree {
+        let mut leaves = Vec::new();
+        let mut stack = vec![Octant::ROOT];
+        while let Some(o) = stack.pop() {
+            if o.level < MAX_LEVEL && refine(&o) {
+                stack.extend(o.children());
+            } else {
+                leaves.push(o);
+            }
+        }
+        leaves.sort_unstable_by_key(Octant::key);
+        LinearOctree { leaves }
+    }
+
+    /// Wrap an existing leaf set (sorted internally). The caller must supply
+    /// a complete, disjoint cover; `debug_assert`ed via
+    /// [`LinearOctree::validate_complete`].
+    pub fn from_leaves(mut leaves: Vec<Octant>) -> LinearOctree {
+        leaves.sort_unstable_by_key(Octant::key);
+        let t = LinearOctree { leaves };
+        debug_assert!(t.validate_complete(), "leaf set is not a complete disjoint cover");
+        t
+    }
+
+    /// A uniform tree at the given level (`8^level` leaves).
+    pub fn uniform(level: u8) -> LinearOctree {
+        LinearOctree::build(|o| o.level < level)
+    }
+
+    pub fn leaves(&self) -> &[Octant] {
+        &self.leaves
+    }
+
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    pub fn max_level(&self) -> u8 {
+        self.leaves.iter().map(|o| o.level).max().unwrap_or(0)
+    }
+
+    pub fn min_level(&self) -> u8 {
+        self.leaves.iter().map(|o| o.level).min().unwrap_or(0)
+    }
+
+    /// Leaf counts per level, indexed by level.
+    pub fn level_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.max_level() as usize + 1];
+        for o in &self.leaves {
+            h[o.level as usize] += 1;
+        }
+        h
+    }
+
+    /// Index of the leaf containing the grid point, by binary search on keys.
+    pub fn find_containing_index(&self, px: u32, py: u32, pz: u32) -> Option<usize> {
+        if px >= GRID || py >= GRID || pz >= GRID || self.leaves.is_empty() {
+            return None;
+        }
+        let key = (morton_encode(px, py, pz) << LEVEL_BITS) | MAX_LEVEL as u64;
+        let idx = match self.leaves.binary_search_by_key(&key, Octant::key) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let leaf = &self.leaves[idx];
+        leaf.contains_point(px, py, pz).then_some(idx)
+    }
+
+    /// The leaf containing a grid point.
+    pub fn find_containing(&self, px: u32, py: u32, pz: u32) -> Option<&Octant> {
+        self.find_containing_index(px, py, pz).map(|i| &self.leaves[i])
+    }
+
+    /// Enforce the 2-to-1 constraint by global ripple refinement. Produces
+    /// the unique minimal balanced refinement of the current leaf set.
+    pub fn balance(&mut self, mode: BalanceMode) {
+        let mut map: BTreeMap<u64, Octant> =
+            self.leaves.iter().map(|o| (o.key(), *o)).collect();
+        let queue: VecDeque<Octant> = self.leaves.iter().copied().collect();
+        ripple(&mut map, queue, mode, None);
+        self.leaves = map.into_values().collect();
+    }
+
+    /// True if every pair of touching leaves (per `mode`) differs by at most
+    /// one level.
+    pub fn is_balanced(&self, mode: BalanceMode) -> bool {
+        let dirs = mode.directions();
+        for o in &self.leaves {
+            if o.level == 0 {
+                continue;
+            }
+            for &d in &dirs {
+                if let Some(p) = sample_point(o, d) {
+                    let n = self
+                        .find_containing(p.0, p.1, p.2)
+                        .expect("complete octree must cover sample point");
+                    if n.level + 1 < o.level {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Check that the leaves are disjoint and tile the whole domain.
+    pub fn validate_complete(&self) -> bool {
+        let mut vol: u128 = 0;
+        for w in self.leaves.windows(2) {
+            if w[0].contains(&w[1]) || w[1].contains(&w[0]) {
+                return false;
+            }
+        }
+        for o in &self.leaves {
+            vol += (o.size() as u128).pow(3);
+        }
+        vol == (GRID as u128).pow(3)
+    }
+}
+
+/// Sample grid point just outside `o` in direction `d` (None if outside the
+/// domain). One point per direction suffices to detect a *coarser* toucher,
+/// because a leaf at a coarser level that touches `o` across `d` necessarily
+/// covers the aligned block this point lies in.
+pub fn sample_point(o: &Octant, d: (i32, i32, i32)) -> Option<(u32, u32, u32)> {
+    let s = o.size() as i64;
+    let comp = |base: u32, di: i32| -> i64 {
+        match di {
+            -1 => base as i64 - 1,
+            0 => base as i64,
+            1 => base as i64 + s,
+            _ => unreachable!(),
+        }
+    };
+    let (px, py, pz) = (comp(o.x, d.0), comp(o.y, d.1), comp(o.z, d.2));
+    let g = GRID as i64;
+    if px < 0 || py < 0 || pz < 0 || px >= g || py >= g || pz >= g {
+        return None;
+    }
+    Some((px as u32, py as u32, pz as u32))
+}
+
+/// Core ripple-refinement loop shared by global balancing and the local
+/// (block-wise) balancing of the etree paper. When `within` is given,
+/// constraints whose sample point falls outside that octant are skipped
+/// (used for the internal-balance step of local balancing).
+pub fn ripple(
+    map: &mut BTreeMap<u64, Octant>,
+    mut queue: VecDeque<Octant>,
+    mode: BalanceMode,
+    within: Option<Octant>,
+) {
+    let dirs = mode.directions();
+    while let Some(o) = queue.pop_front() {
+        if !map.contains_key(&o.key()) {
+            continue; // split away since enqueued
+        }
+        if o.level <= 1 {
+            continue; // nothing can violate against level <= 1
+        }
+        for &d in &dirs {
+            let Some(p) = sample_point(&o, d) else { continue };
+            if let Some(w) = &within {
+                if !w.contains_point(p.0, p.1, p.2) {
+                    continue;
+                }
+            }
+            // Split the covering leaf until it is within one level of o.
+            loop {
+                let n = *find_in_map(map, p).expect("complete octree must cover sample point");
+                if n.level + 1 >= o.level {
+                    break;
+                }
+                map.remove(&n.key());
+                for c in n.children() {
+                    map.insert(c.key(), c);
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+}
+
+fn find_in_map(map: &BTreeMap<u64, Octant>, p: (u32, u32, u32)) -> Option<&Octant> {
+    let key = (morton_encode(p.0, p.1, p.2) << LEVEL_BITS) | MAX_LEVEL as u64;
+    let (_, o) = map.range(..=key).next_back()?;
+    o.contains_point(p.0, p.1, p.2).then_some(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_tree_counts() {
+        for level in 0..4u8 {
+            let t = LinearOctree::uniform(level);
+            assert_eq!(t.len(), 8usize.pow(level as u32));
+            assert!(t.validate_complete());
+            assert!(t.is_balanced(BalanceMode::Full));
+        }
+    }
+
+    #[test]
+    fn build_refines_only_where_asked() {
+        // Refine only the octant containing the origin corner, three times.
+        let t = LinearOctree::build(|o| o.level < 3 && o.x == 0 && o.y == 0 && o.z == 0);
+        // Each refinement of one octant adds 7 leaves: 1 -> 8 -> 15 -> 22.
+        assert_eq!(t.len(), 22);
+        assert!(t.validate_complete());
+        assert_eq!(t.max_level(), 3);
+        assert_eq!(t.min_level(), 1);
+    }
+
+    #[test]
+    fn point_location_finds_the_right_leaf() {
+        let t = LinearOctree::build(|o| o.level < 2 || (o.level < 4 && o.x == 0 && o.y == 0 && o.z == 0));
+        assert!(t.validate_complete());
+        for o in t.leaves() {
+            let c = (o.x + o.size() / 2, o.y + o.size() / 2, o.z + o.size() / 2);
+            assert_eq!(t.find_containing(c.0, c.1, c.2), Some(o));
+            assert_eq!(t.find_containing(o.x, o.y, o.z), Some(o));
+        }
+        assert!(t.find_containing(GRID, 0, 0).is_none());
+    }
+
+    #[test]
+    fn unbalanced_seed_becomes_balanced_minimally() {
+        // Deep refinement around the domain center: across the center planes
+        // the deep leaves touch level-1 leaves, violating 2:1 badly. (A tree
+        // refined toward a *domain corner* is automatically balanced — each
+        // leaf's outward neighbors are exactly one level coarser.)
+        let deep = 6u8;
+        let half = 1u32 << (MAX_LEVEL - 1);
+        let mut t =
+            LinearOctree::build(|o| o.level < deep && o.contains_point(half, half, half));
+        assert!(!t.is_balanced(BalanceMode::Face));
+        let before = t.len();
+        t.balance(BalanceMode::Full);
+        assert!(t.validate_complete());
+        assert!(t.is_balanced(BalanceMode::Full));
+        assert!(t.len() > before);
+        // The deep leaves must be untouched (balance only refines).
+        assert_eq!(t.max_level(), deep);
+    }
+
+    #[test]
+    fn balance_is_idempotent() {
+        let mut t = LinearOctree::build(|o| o.level < 5 && o.x == 0 && o.y == 0 && o.z == 0);
+        t.balance(BalanceMode::Full);
+        let once = t.leaves().to_vec();
+        t.balance(BalanceMode::Full);
+        assert_eq!(once, t.leaves());
+    }
+
+    #[test]
+    fn face_mode_is_weaker_than_full() {
+        let mut tf = LinearOctree::build(|o| o.level < 5 && o.x == 0 && o.y == 0 && o.z == 0);
+        let mut tc = tf.clone();
+        tf.balance(BalanceMode::Face);
+        tc.balance(BalanceMode::Full);
+        assert!(tf.len() <= tc.len());
+        assert!(tf.is_balanced(BalanceMode::Face));
+        assert!(tc.is_balanced(BalanceMode::Full));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_balance_produces_balanced_complete_tree(seeds in proptest::collection::vec((0u32..8, 0u32..8, 0u32..8), 1..4), depth in 3u8..6) {
+            // Refine around a few seed corners to depth, then balance.
+            let mut t = LinearOctree::build(|o| {
+                o.level < depth && seeds.iter().any(|&(sx, sy, sz)| {
+                    let s = 1u32 << (MAX_LEVEL - 3);
+                    o.contains_point(sx * s, sy * s, sz * s)
+                })
+            });
+            t.balance(BalanceMode::Full);
+            prop_assert!(t.validate_complete());
+            prop_assert!(t.is_balanced(BalanceMode::Full));
+        }
+    }
+}

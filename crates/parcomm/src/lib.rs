@@ -1,0 +1,295 @@
+//! SPMD rank/communicator layer — the MPI substitute (see DESIGN.md).
+//!
+//! The paper's solver is an owner-computes explicit code: each rank owns a
+//! contiguous chunk of elements, assembles local forces, and sum-exchanges
+//! the shared interface nodes with its neighbor ranks once per time step.
+//! This crate reproduces that communication structure over OS threads:
+//!
+//! - [`run_spmd`] launches `P` ranks and hands each a [`Communicator`],
+//! - point-to-point [`Communicator::send`]/[`Communicator::recv`] over
+//!   per-pair unbounded channels,
+//! - collectives: [`Communicator::barrier`],
+//!   [`Communicator::allreduce_sum`], [`Communicator::allreduce_max`],
+//! - the solver's workhorse [`Communicator::exchange_sum`]: symmetric
+//!   neighbor lists of shared node ids, gather -> swap -> add.
+//!
+//! Correctness (data movement, ordering, determinism) is real; *timing* of a
+//! 3000-PE machine is the job of `quake-machine`.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// A message between ranks: a tag plus a payload of doubles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    pub tag: u64,
+    pub data: Vec<f64>,
+}
+
+/// Per-rank handle to the communication fabric.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    /// `senders[j]` sends to rank j (our channel into their inbox from us).
+    senders: Vec<Sender<Message>>,
+    /// `receivers[j]` receives messages sent by rank j to us.
+    receivers: Vec<Receiver<Message>>,
+    barrier: Arc<Barrier>,
+}
+
+impl Communicator {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `data` to `to` with a tag (non-blocking; channels are unbounded).
+    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+        assert!(to < self.size && to != self.rank, "invalid destination {to}");
+        self.senders[to]
+            .send(Message { tag, data })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking receive of the next message from `from`; panics on tag
+    /// mismatch (our protocols are deterministic, so a mismatch is a bug).
+    pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+        assert!(from < self.size && from != self.rank, "invalid source {from}");
+        let msg = self.receivers[from].recv().expect("peer rank hung up");
+        assert_eq!(msg.tag, tag, "protocol mismatch: expected tag {tag}, got {}", msg.tag);
+        msg.data
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Elementwise global sum of `x` across ranks (gather at 0, broadcast).
+    pub fn allreduce_sum(&self, x: &mut [f64]) {
+        const TAG: u64 = 0xA11;
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            for r in 1..self.size {
+                let part = self.recv(r, TAG);
+                assert_eq!(part.len(), x.len());
+                for (a, b) in x.iter_mut().zip(&part) {
+                    *a += b;
+                }
+            }
+            for r in 1..self.size {
+                self.send(r, TAG + 1, x.to_vec());
+            }
+        } else {
+            self.send(0, TAG, x.to_vec());
+            let total = self.recv(0, TAG + 1);
+            x.copy_from_slice(&total);
+        }
+    }
+
+    /// Global max reduction of a scalar.
+    pub fn allreduce_max(&self, v: f64) -> f64 {
+        const TAG: u64 = 0xB22;
+        if self.size == 1 {
+            return v;
+        }
+        if self.rank == 0 {
+            let mut m = v;
+            for r in 1..self.size {
+                m = m.max(self.recv(r, TAG)[0]);
+            }
+            for r in 1..self.size {
+                self.send(r, TAG + 1, vec![m]);
+            }
+            m
+        } else {
+            self.send(0, TAG, vec![v]);
+            self.recv(0, TAG + 1)[0]
+        }
+    }
+
+    /// Sum-exchange shared entries with neighbor ranks.
+    ///
+    /// `neighbors` holds `(rank, shared_indices)` pairs; both sides must hold
+    /// *identical* index lists (as produced by `quake_mesh::ExchangePlan`).
+    /// For each neighbor, the values of `data` at the shared indices (ncomp
+    /// per index) are sent; received contributions are added in place. Sends
+    /// all go out before any receive, so the exchange cannot deadlock.
+    pub fn exchange_sum(&self, neighbors: &[(usize, Vec<u32>)], data: &mut [f64], ncomp: usize) {
+        const TAG: u64 = 0xE0;
+        for (nbr, ids) in neighbors {
+            let mut buf = Vec::with_capacity(ids.len() * ncomp);
+            for &i in ids {
+                for c in 0..ncomp {
+                    buf.push(data[i as usize * ncomp + c]);
+                }
+            }
+            self.send(*nbr, TAG, buf);
+        }
+        for (nbr, ids) in neighbors {
+            let buf = self.recv(*nbr, TAG);
+            assert_eq!(buf.len(), ids.len() * ncomp);
+            for (k, &i) in ids.iter().enumerate() {
+                for c in 0..ncomp {
+                    data[i as usize * ncomp + c] += buf[k * ncomp + c];
+                }
+            }
+        }
+    }
+}
+
+/// Run `f` on `n_ranks` ranks, returning the per-rank results in rank order.
+pub fn run_spmd<R: Send>(n_ranks: usize, f: impl Fn(&Communicator) -> R + Sync) -> Vec<R> {
+    assert!(n_ranks > 0);
+    // Channel matrix: chan[i][j] carries i -> j.
+    let mut senders: Vec<Vec<Option<Sender<Message>>>> = (0..n_ranks)
+        .map(|_| (0..n_ranks).map(|_| None).collect())
+        .collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..n_ranks)
+        .map(|_| (0..n_ranks).map(|_| None).collect())
+        .collect();
+    for i in 0..n_ranks {
+        for j in 0..n_ranks {
+            if i != j {
+                let (s, r) = unbounded();
+                senders[i][j] = Some(s);
+                receivers[j][i] = Some(r);
+            }
+        }
+    }
+    let barrier = Arc::new(Barrier::new(n_ranks));
+    let mut comms: Vec<Communicator> = Vec::with_capacity(n_ranks);
+    for (rank, (srow, rrow)) in senders.into_iter().zip(receivers).enumerate() {
+        // Self-channels are unused placeholders.
+        let (self_s, self_r) = unbounded();
+        comms.push(Communicator {
+            rank,
+            size: n_ranks,
+            senders: srow
+                .into_iter()
+                .map(|s| s.unwrap_or_else(|| self_s.clone()))
+                .collect(),
+            receivers: rrow.into_iter().map(|r| r.unwrap_or_else(|| self_r.clone())).collect(),
+            barrier: barrier.clone(),
+        });
+    }
+
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter()
+            .map(|comm| scope.spawn(move |_| f(comm)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+    .expect("SPMD scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_accumulates_all_ranks() {
+        let n = 4;
+        let results = run_spmd(n, |c| {
+            // Pass a token around the ring, each rank adds its id.
+            let mut token = if c.rank() == 0 {
+                vec![0.0]
+            } else {
+                c.recv(c.rank() - 1, 7)
+            };
+            token[0] += c.rank() as f64;
+            if c.rank() + 1 < c.size() {
+                c.send(c.rank() + 1, 7, token.clone());
+            }
+            token[0]
+        });
+        assert_eq!(results[n - 1], (0..n).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn allreduce_sum_is_consistent_on_all_ranks() {
+        let results = run_spmd(5, |c| {
+            let mut x = vec![c.rank() as f64, 1.0];
+            c.allreduce_sum(&mut x);
+            x
+        });
+        for r in &results {
+            assert_eq!(r, &vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_max_finds_global_max() {
+        let results = run_spmd(6, |c| c.allreduce_max((c.rank() as f64 - 2.5).abs()));
+        for r in results {
+            assert_eq!(r, 2.5);
+        }
+    }
+
+    #[test]
+    fn exchange_sum_adds_symmetric_contributions() {
+        // Two ranks share indices [1, 3] of a 5-entry, 2-component array.
+        let results = run_spmd(2, |c| {
+            let other = 1 - c.rank();
+            let plan = vec![(other, vec![1u32, 3u32])];
+            // data[i] = rank*100 + i for comp 0, negative for comp 1.
+            let mut data: Vec<f64> = (0..10)
+                .map(|k| {
+                    let (i, comp) = (k / 2, k % 2);
+                    let v = c.rank() as f64 * 100.0 + i as f64;
+                    if comp == 0 {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect();
+            c.exchange_sum(&plan, &mut data, 2);
+            data
+        });
+        // Shared entries hold the sum of both ranks' values; others untouched.
+        for (rank, data) in results.iter().enumerate() {
+            for i in 0..5usize {
+                let expect0 = if i == 1 || i == 3 {
+                    (i + i) as f64 + 100.0
+                } else {
+                    rank as f64 * 100.0 + i as f64
+                };
+                assert_eq!(data[2 * i], expect0, "rank {rank} node {i}");
+                assert_eq!(data[2 * i + 1], -expect0, "rank {rank} node {i} comp 1");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        let results = run_spmd(4, |c| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the barrier every rank must observe all 4 increments.
+            phase1.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&r| r == 4));
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let r = run_spmd(1, |c| {
+            let mut x = vec![3.0, 4.0];
+            c.allreduce_sum(&mut x);
+            assert_eq!(c.allreduce_max(9.0), 9.0);
+            c.barrier();
+            x
+        });
+        assert_eq!(r[0], vec![3.0, 4.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Closed-form references for verification (Fig 2.2).
+//!
+//! - d'Alembert traveling pulses in a homogeneous medium,
+//! - normal-incidence reflection/transmission coefficients at a material
+//!   interface (the layer-over-halfspace test),
+//! - a fine-grid 1-D SH finite-difference reference for layered media,
+//!   accurate enough to serve as "closed-form grade" ground truth for the
+//!   3-D solver run on pseudo-1-D columns.
+
+/// d'Alembert solution for an initial displacement `f` and velocity `-c f'`
+/// (a pure rightward-traveling pulse): `u(x, t) = f(x - c t)`.
+pub fn dalembert_rightward(f: impl Fn(f64) -> f64, c: f64, x: f64, t: f64) -> f64 {
+    f(x - c * t)
+}
+
+/// Standing split: initial displacement `f`, zero initial velocity:
+/// `u = (f(x - ct) + f(x + ct)) / 2`.
+pub fn dalembert_standing(f: impl Fn(f64) -> f64 + Copy, c: f64, x: f64, t: f64) -> f64 {
+    0.5 * (f(x - c * t) + f(x + c * t))
+}
+
+/// Displacement reflection coefficient for an SH wave at normal incidence
+/// going from medium 1 into medium 2 (`Z = rho vs`):
+/// `R = (Z1 - Z2) / (Z1 + Z2)`.
+pub fn reflection_coefficient(rho1: f64, vs1: f64, rho2: f64, vs2: f64) -> f64 {
+    let z1 = rho1 * vs1;
+    let z2 = rho2 * vs2;
+    (z1 - z2) / (z1 + z2)
+}
+
+/// Displacement transmission coefficient `T = 2 Z1 / (Z1 + Z2)`.
+pub fn transmission_coefficient(rho1: f64, vs1: f64, rho2: f64, vs2: f64) -> f64 {
+    let z1 = rho1 * vs1;
+    let z2 = rho2 * vs2;
+    2.0 * z1 / (z1 + z2)
+}
+
+/// 1-D layered SH reference solution by a fine staggered-grid FD scheme:
+/// `rho(z) u_tt = (mu(z) u_z)_z`, free surface at z = 0, absorbing at depth.
+///
+/// Returns the displacement field at the requested times, sampled on the FD
+/// grid `z_i = i dz`, from the initial condition `u0(z)` at rest.
+pub struct Sh1dReference {
+    pub dz: f64,
+    pub dt: f64,
+    pub u: Vec<Vec<f64>>,
+    pub times: Vec<f64>,
+}
+
+pub fn sh1d_reference(
+    depth: f64,
+    n_cells: usize,
+    rho: impl Fn(f64) -> f64,
+    mu: impl Fn(f64) -> f64,
+    u0: impl Fn(f64) -> f64,
+    v0: impl Fn(f64) -> f64,
+    t_end: f64,
+    record_times: &[f64],
+) -> Sh1dReference {
+    let dz = depth / n_cells as f64;
+    let n = n_cells + 1;
+    // Cell-centered mu, node-centered rho.
+    let mu_c: Vec<f64> = (0..n_cells).map(|i| mu((i as f64 + 0.5) * dz)).collect();
+    let rho_n: Vec<f64> = (0..n).map(|i| rho(i as f64 * dz)).collect();
+    let vmax = (0..n_cells)
+        .map(|i| (mu_c[i] / rho_n[i].min(rho_n[i + 1])).sqrt())
+        .fold(0.0f64, f64::max);
+    let dt = 0.5 * dz / vmax;
+    let steps = (t_end / dt).ceil() as usize;
+
+    let mut up: Vec<f64> = (0..n).map(|i| u0(i as f64 * dz) - dt * v0(i as f64 * dz)).collect();
+    let mut un: Vec<f64> = (0..n).map(|i| u0(i as f64 * dz)).collect();
+    let mut out = Vec::new();
+    let mut times = Vec::new();
+    let mut next_rec = 0usize;
+    for k in 0..=steps {
+        let t = k as f64 * dt;
+        while next_rec < record_times.len() && t >= record_times[next_rec] - 0.5 * dt {
+            out.push(un.clone());
+            times.push(t);
+            next_rec += 1;
+        }
+        if k == steps {
+            break;
+        }
+        let mut unew = vec![0.0; n];
+        for i in 0..n {
+            // Stress divergence with free surface (mirror) at i=0 and a
+            // simple absorbing (one-way) condition at the bottom node.
+            if i == n - 1 {
+                // u_t = -v u_z  (outgoing toward +z).
+                let v = (mu_c[n_cells - 1] / rho_n[i]).sqrt();
+                unew[i] = un[i] - v * dt / dz * (un[i] - un[i - 1]);
+                continue;
+            }
+            let s_plus = mu_c[i] * (un[i + 1] - un[i]) / dz;
+            let s_minus = if i == 0 { -s_plus } else { mu_c[i - 1] * (un[i] - un[i - 1]) / dz };
+            // Free surface: stress is zero at the surface, so the one-sided
+            // divergence uses a zero traction above.
+            let div = if i == 0 { s_plus / (0.5 * dz) } else { (s_plus - s_minus) / dz };
+            unew[i] = 2.0 * un[i] - up[i] + dt * dt / rho_n[i] * div;
+        }
+        up = un;
+        un = unew;
+    }
+    Sh1dReference { dz, dt, u: out, times }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_satisfy_continuity() {
+        // 1 + R = T at a displacement interface.
+        let (r1, v1, r2, v2) = (1800.0, 400.0, 2600.0, 2800.0);
+        let r = reflection_coefficient(r1, v1, r2, v2);
+        let t = transmission_coefficient(r1, v1, r2, v2);
+        assert!((1.0 + r - t).abs() < 1e-12);
+        // Hard-over-soft flips the sign.
+        assert!(r < 0.0);
+        assert!(reflection_coefficient(r2, v2, r1, v1) > 0.0);
+        // Identical media: no reflection, full transmission.
+        assert_eq!(reflection_coefficient(r1, v1, r1, v1), 0.0);
+        assert_eq!(transmission_coefficient(r1, v1, r1, v1), 1.0);
+    }
+
+    #[test]
+    fn fd_reference_propagates_homogeneous_pulse_correctly() {
+        // Gaussian at depth 500 m, vs = 1000: after 0.2 s the split halves
+        // sit at 300 and 700 m.
+        let vs = 1000.0;
+        let rho = 2000.0;
+        let mu = rho * vs * vs;
+        let rec = [0.2];
+        let r = sh1d_reference(
+            2000.0,
+            2000,
+            |_| rho,
+            |_| mu,
+            |z| (-((z - 500.0) / 50.0).powi(2)).exp(),
+            |_| 0.0,
+            0.25,
+            &rec,
+        );
+        let u = &r.u[0];
+        let t = r.times[0];
+        let mut err = 0.0;
+        let mut norm = 0.0;
+        for (i, &ui) in u.iter().enumerate() {
+            let z = i as f64 * r.dz;
+            if z > 1500.0 {
+                continue; // skip the absorbing toe
+            }
+            let exact = dalembert_standing(|x| (-((x - 500.0) / 50.0).powi(2)).exp(), vs, z, t);
+            err += (ui - exact).powi(2);
+            norm += exact.powi(2);
+        }
+        assert!((err / norm).sqrt() < 0.02, "FD reference error {}", (err / norm).sqrt());
+    }
+
+    #[test]
+    fn fd_reference_free_surface_doubles_amplitude() {
+        // An upgoing pulse reflects at the free surface with coefficient +1:
+        // the surface displacement peaks at ~2x the incident amplitude.
+        let vs = 1000.0;
+        let rho = 2000.0;
+        let mu = rho * vs * vs;
+        // Upgoing pulse: u0 Gaussian at 600 m, v0 = +vs u0' (traveling -z).
+        let g = |z: f64| (-((z - 600.0) / 60.0).powi(2)).exp();
+        let rec: Vec<f64> = (0..40).map(|k| k as f64 * 0.025).collect();
+        let r = sh1d_reference(
+            3000.0,
+            3000,
+            |_| rho,
+            |_| mu,
+            g,
+            |z| vs * (-2.0 * (z - 600.0) / 60.0f64.powi(2)) * g(z),
+            1.0,
+            &rec,
+        );
+        let surface_peak = r.u.iter().map(|u| u[0].abs()).fold(0.0f64, f64::max);
+        assert!(
+            surface_peak > 1.8 && surface_peak < 2.2,
+            "free-surface amplification {surface_peak}"
+        );
+    }
+}

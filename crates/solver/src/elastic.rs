@@ -1,0 +1,661 @@
+//! The production elastic wave solver (Section 2.1-2.2 of the paper).
+//!
+//! Explicit central differences on the lumped-mass Galerkin semidiscretization
+//! of Navier's equations, exactly in the split form of eq. (2.4):
+//!
+//! ```text
+//! [ (1 + a dt/2) M + (b dt/2) K_diag + (dt/2) C^AB_diag ] u_{k+1} =
+//!   [ 2M - dt^2 (K + K^AB) - (b dt/2) K_off ] u_k
+//! + [ (a dt/2 - 1) M + (b dt/2) K + (dt/2) C^AB ] u_{k-1} + dt^2 b_k
+//! ```
+//!
+//! with elementwise Rayleigh constants `(a_e, b_e)` least-squares fitted to
+//! the local soil's damping ratio, and Stacey absorbing boundaries. Hanging
+//! nodes are eliminated by the projection `B^T A B ubar = B^T rhs`, which
+//! keeps the update explicit because `A` is diagonal.
+//!
+//! The solver stores *no matrices*: per element only `(h, lambda, mu, rho,
+//! a, b)` — the element matvec runs against the two canonical 24x24 matrices
+//! of `quake-fem`.
+
+use crate::abc::{accumulate_abc_damping, apply_abc_stiffness, build_abc_faces, AbcFace};
+use crate::receivers::Seismogram;
+use crate::sources::AssembledSource;
+use quake_fem::hex8::{elastic_hex_matrices, elastic_matvec, lumped_hex_mass};
+use quake_mesh::HexMesh;
+use quake_model::attenuation::{damping_target_for_vs, fit_rayleigh};
+
+/// Rayleigh-damping configuration: the frequency band the elementwise
+/// least-squares fit targets.
+#[derive(Clone, Copy, Debug)]
+pub struct RayleighBand {
+    pub f_lo: f64,
+    pub f_hi: f64,
+}
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticConfig {
+    /// Simulated duration (s).
+    pub duration: f64,
+    /// Time step; `None` = CFL-limited (`cfl * min h/vp`).
+    pub dt: Option<f64>,
+    /// CFL safety factor.
+    pub cfl: f64,
+    /// Which domain faces absorb (0/1 -x/+x, 2/3 -y/+y, 4/5 -z/+z).
+    /// Default: all but face 4 — z=0 is the free surface.
+    pub abc: [bool; 6],
+    /// Material attenuation; `None` = lossless.
+    pub rayleigh: Option<RayleighBand>,
+}
+
+impl ElasticConfig {
+    pub fn new(duration: f64) -> ElasticConfig {
+        ElasticConfig {
+            duration,
+            dt: None,
+            cfl: 0.5,
+            abc: [true, true, true, true, false, true],
+            rayleigh: None,
+        }
+    }
+}
+
+/// Outcome of a run: seismograms plus performance accounting.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub seismograms: Vec<Seismogram>,
+    pub n_steps: usize,
+    pub dt: f64,
+    /// Analytic flop count of the run (see `quake-machine`).
+    pub flops: u64,
+    pub wall_secs: f64,
+}
+
+/// The assembled explicit solver.
+///
+/// Hanging-node treatment: stiffness-like terms are applied matrix-free on
+/// the full node set and folded exactly (`B^T K B`), while every *diagonal*
+/// matrix (mass, damping) is lumped in master space — `diag(B^T D B)`, i.e.
+/// squared-weight folding — and used identically on both sides of the
+/// update. This keeps the master-space operator symmetric (plain leapfrog
+/// stability analysis applies) and the update explicit, which is what the
+/// paper means by "the projection preserves the diagonality of A".
+pub struct ElasticSolver<'m> {
+    pub mesh: &'m HexMesh,
+    pub dt: f64,
+    pub n_steps: usize,
+    /// Lumped nodal mass per node (unprojected; diagnostics only).
+    mass: Vec<f64>,
+    /// Projected (squared-weight folded) mass per dof.
+    mass_f: Vec<f64>,
+    /// Projected diagonal damping per dof: `a M + b K_diag + C^AB_diag`.
+    cdiag_f: Vec<f64>,
+    /// Unprojected `alpha M` and `C^AB` diagonals (for the full damping
+    /// matvec `C w`).
+    am_diag: Vec<f64>,
+    cab_diag: Vec<f64>,
+    /// Folded inverse LHS diagonal.
+    lhs_inv: Vec<f64>,
+    faces: Vec<AbcFace>,
+    /// Per-element Rayleigh constants.
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    /// All element ids (cached for the serial step's hot path).
+    all_elements: Vec<u32>,
+}
+
+impl<'m> ElasticSolver<'m> {
+    pub fn new(mesh: &'m HexMesh, cfg: &ElasticConfig) -> ElasticSolver<'m> {
+        let n = mesh.n_nodes();
+        let ndof = 3 * n;
+        let mats = elastic_hex_matrices();
+
+        // CFL-limited time step: dt_crit = h / (sqrt(3) vp) for the lumped
+        // trilinear hex (tensor-product eigenvalue bound).
+        let mut h_over_vp = f64::INFINITY;
+        for e in &mesh.elements {
+            h_over_vp = h_over_vp.min(e.h / e.material.vp());
+        }
+        let dt = cfg.dt.unwrap_or(cfg.cfl * h_over_vp / 3.0f64.sqrt());
+        assert!(dt > 0.0 && dt.is_finite(), "bad time step {dt}");
+        let n_steps = (cfg.duration / dt).ceil() as usize;
+
+        // Rayleigh constants per element.
+        let ne = mesh.n_elements();
+        let mut alpha = vec![0.0; ne];
+        let mut beta = vec![0.0; ne];
+        if let Some(band) = cfg.rayleigh {
+            for (i, e) in mesh.elements.iter().enumerate() {
+                let zeta = damping_target_for_vs(e.material.vs());
+                let fit = fit_rayleigh(zeta, band.f_lo, band.f_hi, 16);
+                alpha[i] = fit.alpha;
+                beta[i] = fit.beta;
+            }
+        }
+
+        // Assemble lumped mass, aM diag, bK diag.
+        let mut mass = vec![0.0; n];
+        let mut am_diag = vec![0.0; ndof];
+        let mut bk_diag = vec![0.0; ndof];
+        for (i, e) in mesh.elements.iter().enumerate() {
+            let me = lumped_hex_mass(e.material.rho, e.h);
+            for (c, &nd) in e.nodes.iter().enumerate() {
+                mass[nd as usize] += me;
+                for comp in 0..3 {
+                    am_diag[nd as usize * 3 + comp] += alpha[i] * me;
+                    let kd = e.h
+                        * (e.material.lambda * mats.k_lambda_diag[3 * c + comp]
+                            + e.material.mu * mats.k_mu_diag[3 * c + comp]);
+                    bk_diag[nd as usize * 3 + comp] += beta[i] * kd;
+                }
+            }
+        }
+
+        // Stacey faces and their lumped damping.
+        let faces = build_abc_faces(mesh, cfg.abc);
+        let mut cab_diag = vec![0.0; ndof];
+        accumulate_abc_damping(&faces, &mut cab_diag);
+
+        // Projected diagonals: squared-weight folding, used identically on
+        // both sides of the update.
+        let mut mass_f = vec![0.0; ndof];
+        for nd in 0..n {
+            for comp in 0..3 {
+                mass_f[3 * nd + comp] = mass[nd];
+            }
+        }
+        mesh.fold_hanging_diag(&mut mass_f, 3);
+        let mut cdiag_f = vec![0.0; ndof];
+        for d in 0..ndof {
+            cdiag_f[d] = am_diag[d] + bk_diag[d] + cab_diag[d];
+        }
+        mesh.fold_hanging_diag(&mut cdiag_f, 3);
+
+        let mut lhs_inv = vec![0.0; ndof];
+        for d in 0..ndof {
+            lhs_inv[d] = 1.0 / (mass_f[d] + 0.5 * dt * cdiag_f[d]);
+        }
+
+        ElasticSolver {
+            mesh,
+            dt,
+            n_steps,
+            mass,
+            mass_f,
+            cdiag_f,
+            am_diag,
+            cab_diag,
+            lhs_inv,
+            faces,
+            alpha,
+            beta,
+            all_elements: (0..mesh.n_elements() as u32).collect(),
+        }
+    }
+
+    /// One explicit step: given `u_prev = u_{k-1}`, `u_now = u_k` (both with
+    /// hanging nodes interpolated) and the external force `f_ext` (physical
+    /// units, at time level k), fill `u_next`.
+    pub fn step(&self, u_prev: &[f64], u_now: &[f64], f_ext: &[f64], u_next: &mut [f64]) {
+        self.step_partial(&self.all_elements, None, u_prev, u_now, f_ext, u_next, |_| {});
+    }
+
+    /// The step over an element subset with a mid-step exchange hook — the
+    /// building block of the distributed solver. `elems` selects the
+    /// elements (and their boundary faces) this rank assembles; `f_ext` must
+    /// likewise hold only this rank's share of the sources; `owned_nodes`
+    /// (None = all) selects the nodes whose diagonal damping term this rank
+    /// contributes — exactly one rank must own each node. All partial terms
+    /// are constraint-folded *before* `exchange` (the fold is linear, so
+    /// per-rank folded partials sum to the global fold); everything after
+    /// the exchange is local and replicated.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_partial(
+        &self,
+        elems: &[u32],
+        owned_nodes: Option<&[bool]>,
+        u_prev: &[f64],
+        u_now: &[f64],
+        f_ext: &[f64],
+        u_next: &mut [f64],
+        exchange: impl FnOnce(&mut [f64]),
+    ) {
+        let mesh = self.mesh;
+        let n = mesh.n_nodes();
+        let ndof = 3 * n;
+        assert_eq!(u_prev.len(), ndof);
+        assert_eq!(u_now.len(), ndof);
+        assert_eq!(f_ext.len(), ndof);
+        assert_eq!(u_next.len(), ndof);
+        let dt = self.dt;
+        let dt2 = dt * dt;
+        let mats = elastic_hex_matrices();
+
+        // Partial (exchanged) phase: element stiffness/damping terms, this
+        // rank's boundary faces, and this rank's sources.
+        let rhs = u_next; // reuse the output buffer
+        for d in 0..ndof {
+            rhs[d] = dt2 * f_ext[d];
+        }
+        for &ei in elems {
+            let i = ei as usize;
+            let e = &mesh.elements[i];
+            let mut xu = [0.0; 24];
+            let mut xw = [0.0; 24];
+            for (c, &nd) in e.nodes.iter().enumerate() {
+                let b = nd as usize * 3;
+                for comp in 0..3 {
+                    xu[3 * c + comp] = u_now[b + comp];
+                    xw[3 * c + comp] = u_now[b + comp] - u_prev[b + comp];
+                }
+            }
+            let mut y = [0.0; 24];
+            elastic_matvec(mats, e.material.lambda, e.material.mu, e.h, &xu, &mut y);
+            let mut yw = [0.0; 24];
+            if self.beta[i] != 0.0 {
+                elastic_matvec(mats, e.material.lambda, e.material.mu, e.h, &xw, &mut yw);
+            }
+            let bscale = 0.5 * dt * self.beta[i];
+            for (c, &nd) in e.nodes.iter().enumerate() {
+                let b = nd as usize * 3;
+                for comp in 0..3 {
+                    rhs[b + comp] -= dt2 * y[3 * c + comp] + bscale * yw[3 * c + comp];
+                }
+            }
+        }
+
+        // Stacey tangential coupling (K^AB) of this rank's faces, applied as
+        // a traction force.
+        if !self.faces.is_empty() {
+            let mut fab = vec![0.0; ndof];
+            if elems.len() == mesh.n_elements() {
+                apply_abc_stiffness(&self.faces, u_now, &mut fab);
+            } else {
+                // Boundary faces are partitioned with their elements.
+                let mut mine = vec![false; mesh.n_elements()];
+                for &ei in elems {
+                    mine[ei as usize] = true;
+                }
+                let faces: Vec<crate::abc::AbcFace> = self
+                    .faces
+                    .iter()
+                    .filter(|f| mine[f.element as usize])
+                    .copied()
+                    .collect();
+                apply_abc_stiffness(&faces, u_now, &mut fab);
+            }
+            for d in 0..ndof {
+                rhs[d] += dt2 * fab[d];
+            }
+        }
+
+        // Owner-computed diagonal damping term on w = u0 - u-.
+        match owned_nodes {
+            None => {
+                for d in 0..ndof {
+                    rhs[d] -=
+                        0.5 * dt * (self.am_diag[d] + self.cab_diag[d]) * (u_now[d] - u_prev[d]);
+                }
+            }
+            Some(mask) => {
+                for nd in 0..n {
+                    if !mask[nd] {
+                        continue;
+                    }
+                    for comp in 0..3 {
+                        let d = 3 * nd + comp;
+                        rhs[d] -= 0.5
+                            * dt
+                            * (self.am_diag[d] + self.cab_diag[d])
+                            * (u_now[d] - u_prev[d]);
+                    }
+                }
+            }
+        }
+
+        // Project this rank's partial terms BEFORE the exchange. The fold is
+        // linear, so the sum of per-rank folded partials equals the fold of
+        // the assembled sum — and no rank ever needs hanging-node values it
+        // did not itself assemble.
+        mesh.fold_hanging(rhs, 3);
+
+        // Sum-exchange the partially assembled terms at interface nodes.
+        exchange(rhs);
+
+        // Master-space history terms with the *projected* diagonals (same
+        // matrices as the LHS — this symmetry is what keeps the constrained
+        // update stable):
+        //   rhs_m += 2 Mf u0 - Mf u- + (dt/2) Cf u0
+        for d in 0..ndof {
+            rhs[d] += (2.0 * self.mass_f[d] + 0.5 * dt * self.cdiag_f[d]) * u_now[d]
+                - self.mass_f[d] * u_prev[d];
+            rhs[d] *= self.lhs_inv[d];
+        }
+        mesh.interpolate_hanging(rhs, 3);
+    }
+
+    /// Run the full simulation with the given sources and receiver nodes.
+    /// `u0`/`v0` optionally set an initial state (e.g. a plane-wave pulse).
+    pub fn run(
+        &self,
+        sources: &[AssembledSource],
+        receiver_nodes: &[u32],
+        initial: Option<(&[f64], &[f64])>,
+    ) -> RunResult {
+        let t0 = std::time::Instant::now();
+        let ndof = 3 * self.mesh.n_nodes();
+        let mut u_prev = vec![0.0; ndof];
+        let mut u_now = vec![0.0; ndof];
+        let mut u_next = vec![0.0; ndof];
+        let mut f = vec![0.0; ndof];
+        if let Some((u0, v0)) = initial {
+            // u_now = u(0); u_prev = u(-dt) ~ u0 - dt v0 (first order is
+            // enough: the error is O(dt^2), matching the scheme).
+            u_now.copy_from_slice(u0);
+            for d in 0..ndof {
+                u_prev[d] = u0[d] - self.dt * v0[d];
+            }
+        }
+
+        let mut traces: Vec<Seismogram> =
+            receiver_nodes.iter().map(|_| Seismogram::new(self.dt, 3)).collect();
+
+        for k in 0..self.n_steps {
+            let t = k as f64 * self.dt;
+            f.iter_mut().for_each(|v| *v = 0.0);
+            for s in sources {
+                s.add_force(t, &mut f);
+            }
+            self.step(&u_prev, &u_now, &f, &mut u_next);
+            for (tr, &nd) in traces.iter_mut().zip(receiver_nodes) {
+                let b = nd as usize * 3;
+                tr.push(&u_now[b..b + 3]);
+            }
+            std::mem::swap(&mut u_prev, &mut u_now);
+            std::mem::swap(&mut u_now, &mut u_next);
+        }
+
+        let flops = quake_machine::flops::elastic_total(
+            self.mesh.n_elements() as u64,
+            self.mesh.n_nodes() as u64,
+            self.faces.len() as u64,
+            self.n_steps as u64,
+        );
+        RunResult {
+            seismograms: traces,
+            n_steps: self.n_steps,
+            dt: self.dt,
+            flops,
+            wall_secs: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Run and return the final `(u_prev, u_now)` state (for field tests).
+    pub fn run_to_state(
+        &self,
+        initial: Option<(&[f64], &[f64])>,
+        n_steps: usize,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let ndof = 3 * self.mesh.n_nodes();
+        let mut u_prev = vec![0.0; ndof];
+        let mut u_now = vec![0.0; ndof];
+        let mut u_next = vec![0.0; ndof];
+        let f = vec![0.0; ndof];
+        if let Some((u0, v0)) = initial {
+            u_now.copy_from_slice(u0);
+            for d in 0..ndof {
+                u_prev[d] = u0[d] - self.dt * v0[d];
+            }
+        }
+        for _ in 0..n_steps {
+            self.step(&u_prev, &u_now, &f, &mut u_next);
+            std::mem::swap(&mut u_prev, &mut u_now);
+            std::mem::swap(&mut u_now, &mut u_next);
+        }
+        (u_prev, u_now)
+    }
+
+    /// The fitted per-element Rayleigh constants `(alpha, beta)`.
+    pub fn rayleigh_constants(&self) -> (&[f64], &[f64]) {
+        (&self.alpha, &self.beta)
+    }
+
+    /// Total mechanical energy of a state: `1/2 v^T M v + 1/2 u^T K u` with
+    /// `v = (u_now - u_prev)/dt`.
+    pub fn energy(&self, u_prev: &[f64], u_now: &[f64]) -> f64 {
+        let mats = elastic_hex_matrices();
+        let mut e_kin = 0.0;
+        for (nd, &m) in self.mass.iter().enumerate() {
+            for comp in 0..3 {
+                let v = (u_now[3 * nd + comp] - u_prev[3 * nd + comp]) / self.dt;
+                e_kin += 0.5 * m * v * v;
+            }
+        }
+        let mut e_str = 0.0;
+        for e in &self.mesh.elements {
+            let mut x = [0.0; 24];
+            for (c, &nd) in e.nodes.iter().enumerate() {
+                for comp in 0..3 {
+                    x[3 * c + comp] = u_now[nd as usize * 3 + comp];
+                }
+            }
+            let mut y = [0.0; 24];
+            elastic_matvec(mats, e.material.lambda, e.material.mu, e.h, &x, &mut y);
+            for i in 0..24 {
+                e_str += 0.5 * x[i] * y[i];
+            }
+        }
+        e_kin + e_str
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quake_mesh::hexmesh::ElemMaterial;
+    use quake_mesh::HexMesh;
+    use quake_octree::{BalanceMode, LinearOctree, MAX_LEVEL};
+
+    fn uniform_mesh(level: u8, l: f64, lambda: f64, mu: f64, rho: f64) -> HexMesh {
+        HexMesh::from_octree(&LinearOctree::uniform(level), l, |_, _, _, _| ElemMaterial {
+            lambda,
+            mu,
+            rho,
+        })
+    }
+
+    /// Gaussian shear pulse traveling in +x: u_y = exp(-((x-x0)/w)^2).
+    fn shear_pulse(mesh: &HexMesh, x0: f64, w: f64, vs: f64) -> (Vec<f64>, Vec<f64>) {
+        let n = mesh.n_nodes();
+        let mut u = vec![0.0; 3 * n];
+        let mut v = vec![0.0; 3 * n];
+        for (i, c) in mesh.coords.iter().enumerate() {
+            let a = (c[0] - x0) / w;
+            let g = (-a * a).exp();
+            u[3 * i + 1] = g;
+            // For a rightward-traveling wave f(x - vs t): du/dt = -vs f'.
+            v[3 * i + 1] = vs * 2.0 * a / w * g;
+        }
+        (u, v)
+    }
+
+    #[test]
+    fn zero_state_stays_zero() {
+        let mesh = uniform_mesh(2, 8.0, 2.0, 1.0, 1.0);
+        let solver = ElasticSolver::new(&mesh, &ElasticConfig::new(1.0));
+        let (up, un) = solver.run_to_state(None, 10);
+        assert!(up.iter().chain(&un).all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn dt_respects_cfl() {
+        let mesh = uniform_mesh(3, 8.0, 2.0, 1.0, 1.0);
+        let solver = ElasticSolver::new(&mesh, &ElasticConfig::new(1.0));
+        let vp = 2.0f64.sqrt(); // sqrt((lambda+2mu)/rho) = sqrt(4) = 2.0...
+        let _ = vp;
+        let h = 1.0;
+        let vp = ((2.0 + 2.0) / 1.0f64).sqrt();
+        assert!(solver.dt <= 0.5 * h / vp + 1e-12);
+    }
+
+    #[test]
+    fn energy_conserved_without_damping_or_abc() {
+        let mesh = uniform_mesh(3, 8.0, 2.0, 1.0, 1.0);
+        let mut cfg = ElasticConfig::new(0.5);
+        cfg.abc = [false; 6];
+        // Well inside the stability limit: the staggered-velocity energy
+        // proxy oscillates with O((dt w)^2) amplitude near the CFL limit.
+        cfg.dt = Some(0.05);
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = shear_pulse(&mesh, 4.0, 1.0, 1.0);
+        let (up1, un1) = solver.run_to_state(Some((&u0, &v0)), 1);
+        let e_start = solver.energy(&up1, &un1);
+        let (up, un) = solver.run_to_state(Some((&u0, &v0)), 200);
+        let e_end = solver.energy(&up, &un);
+        assert!(
+            (e_end - e_start).abs() < 5e-3 * e_start,
+            "energy drift {e_start} -> {e_end}"
+        );
+        assert!(e_start > 0.0);
+    }
+
+    #[test]
+    fn pulse_travels_at_shear_speed() {
+        // d'Alembert: a rightward shear pulse at x0 arrives at x0 + vs*T.
+        // Free boundaries pollute from the y/z faces at vp, so measure at the
+        // center before pollution arrives.
+        let (lambda, mu, rho) = (2.0, 1.0, 1.0);
+        let vs = (mu / rho as f64).sqrt(); // 1.0
+        let mesh = uniform_mesh(4, 16.0, lambda, mu, rho); // h = 1
+        let mut cfg = ElasticConfig::new(1.0);
+        cfg.abc = [false; 6];
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = shear_pulse(&mesh, 5.0, 2.5, vs);
+        let travel = 3.0; // seconds; pollution needs 8/vp = 4 s to reach center
+        let n_steps = (travel / solver.dt).round() as usize;
+        let (_, un) = solver.run_to_state(Some((&u0, &v0)), n_steps);
+        // Compare u_y along the center line y = z = 8 against the analytic
+        // translated pulse.
+        let t_actual = n_steps as f64 * solver.dt;
+        let mut err = 0.0;
+        let mut norm = 0.0;
+        for (i, c) in mesh.coords.iter().enumerate() {
+            if (c[1] - 8.0).abs() < 1e-9 && (c[2] - 8.0).abs() < 1e-9 {
+                let a = (c[0] - 5.0 - vs * t_actual) / 2.5;
+                let exact = (-a * a).exp();
+                let got = un[3 * i + 1];
+                err += (got - exact) * (got - exact);
+                norm += exact * exact;
+            }
+        }
+        let rel = (err / norm).sqrt();
+        assert!(rel < 0.08, "relative waveform error {rel}");
+    }
+
+    #[test]
+    fn abc_absorbs_outgoing_pulse() {
+        let mesh = uniform_mesh(3, 8.0, 2.0, 1.0, 1.0);
+        let mut cfg = ElasticConfig::new(1.0);
+        cfg.abc = [true; 6];
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = shear_pulse(&mesh, 4.0, 1.0, 1.0);
+        let (up1, un1) = solver.run_to_state(Some((&u0, &v0)), 1);
+        let e_start = solver.energy(&up1, &un1);
+        // After the pulse crosses the domain (8 units at vs = 1 -> 8 s) it
+        // should be mostly gone.
+        let n_steps = (10.0 / solver.dt).round() as usize;
+        let (up, un) = solver.run_to_state(Some((&u0, &v0)), n_steps);
+        let e_end = solver.energy(&up, &un);
+        // Stacey is exact only at normal incidence; the 1-D pulse grazes the
+        // four side faces, which is the worst case — ~10-15% residual is the
+        // expected behaviour (compare the reflecting control test: > 90%).
+        assert!(
+            e_end < 0.2 * e_start,
+            "ABC left {:.1}% of the energy",
+            100.0 * e_end / e_start
+        );
+    }
+
+    #[test]
+    fn reflecting_box_keeps_energy_in() {
+        // Control for the ABC test: with free boundaries the energy stays.
+        let mesh = uniform_mesh(3, 8.0, 2.0, 1.0, 1.0);
+        let mut cfg = ElasticConfig::new(1.0);
+        cfg.abc = [false; 6];
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = shear_pulse(&mesh, 4.0, 1.0, 1.0);
+        let (up1, un1) = solver.run_to_state(Some((&u0, &v0)), 1);
+        let e_start = solver.energy(&up1, &un1);
+        let n_steps = (10.0 / solver.dt).round() as usize;
+        let (up, un) = solver.run_to_state(Some((&u0, &v0)), n_steps);
+        let e_end = solver.energy(&up, &un);
+        assert!(e_end > 0.9 * e_start, "free box lost energy: {e_start} -> {e_end}");
+    }
+
+    #[test]
+    fn rayleigh_damping_decays_energy() {
+        let mesh = uniform_mesh(3, 8.0, 2.0, 1.0, 1.0);
+        let mut cfg = ElasticConfig::new(1.0);
+        cfg.abc = [false; 6];
+        cfg.rayleigh = Some(RayleighBand { f_lo: 0.05, f_hi: 2.0 });
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = shear_pulse(&mesh, 4.0, 1.0, 1.0);
+        let (up1, un1) = solver.run_to_state(Some((&u0, &v0)), 1);
+        let e_start = solver.energy(&up1, &un1);
+        let n_steps = (8.0 / solver.dt).round() as usize;
+        let (up, un) = solver.run_to_state(Some((&u0, &v0)), n_steps);
+        let e_end = solver.energy(&up, &un);
+        assert!(e_end < 0.7 * e_start, "damping too weak: {e_start} -> {e_end}");
+        assert!(e_end > 0.0);
+    }
+
+    #[test]
+    fn hanging_node_mesh_propagates_smoothly() {
+        // A multiresolution mesh must carry a pulse across the refinement
+        // interface without blowing up and with bounded interface artifacts:
+        // compare against the uniform-coarse solution on shared nodes.
+        let half = 1u32 << (MAX_LEVEL - 1);
+        let mut tree = LinearOctree::build(|o| {
+            o.level < 3 || (o.level < 4 && o.x < half)
+        });
+        tree.balance(BalanceMode::Full);
+        let mk = |t: &LinearOctree| {
+            HexMesh::from_octree(t, 8.0, |_, _, _, _| ElemMaterial {
+                lambda: 2.0,
+                mu: 1.0,
+                rho: 1.0,
+            })
+        };
+        let mesh_fine = mk(&tree);
+        assert!(mesh_fine.n_hanging() > 0);
+        let mesh_coarse = mk(&LinearOctree::uniform(3));
+        let mut cfg = ElasticConfig::new(1.0);
+        cfg.abc = [false; 6];
+        // Use the same dt for comparability.
+        cfg.dt = Some(0.1);
+        let s_fine = ElasticSolver::new(&mesh_fine, &cfg);
+        let s_coarse = ElasticSolver::new(&mesh_coarse, &cfg);
+        let (u0f, v0f) = shear_pulse(&mesh_fine, 4.0, 1.5, 1.0);
+        let (u0c, v0c) = shear_pulse(&mesh_coarse, 4.0, 1.5, 1.0);
+        let n_steps = 20;
+        let (_, unf) = s_fine.run_to_state(Some((&u0f, &v0f)), n_steps);
+        let (_, unc) = s_coarse.run_to_state(Some((&u0c, &v0c)), n_steps);
+        // Compare on the coarse mesh's nodes.
+        let mut fine_by_grid = std::collections::HashMap::new();
+        for (i, g) in mesh_fine.grid_coords.iter().enumerate() {
+            fine_by_grid.insert(*g, i);
+        }
+        let mut err = 0.0;
+        let mut norm = 0.0;
+        for (i, g) in mesh_coarse.grid_coords.iter().enumerate() {
+            let j = fine_by_grid[g];
+            let d = unf[3 * j + 1] - unc[3 * i + 1];
+            err += d * d;
+            norm += unc[3 * i + 1] * unc[3 * i + 1];
+        }
+        let rel = (err / norm).sqrt();
+        assert!(rel < 0.1, "fine/coarse mismatch {rel}");
+        assert!(unf.iter().all(|v| v.is_finite()));
+    }
+}

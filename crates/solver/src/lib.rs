@@ -1,0 +1,42 @@
+//! Explicit wave-propagation solvers on octree hexahedral meshes.
+//!
+//! The heart of the forward-modeling half of the paper (Section 2):
+//!
+//! - [`elastic`]: the production solver — Navier elastodynamics, trilinear
+//!   hexes on a balanced octree, lumped-mass central differences with the
+//!   diagonal/off-diagonal damping split of eq. (2.4), elementwise
+//!   least-squares Rayleigh damping, Stacey absorbing boundaries and
+//!   hanging-node projection (`B^T A B ubar = B^T b`). No matrix is ever
+//!   stored: the element matvec is `gather -> 24x24 dense -> scatter` against
+//!   two canonical matrices,
+//! - [`abc`]: the Stacey boundary terms shared by the solvers,
+//! - [`sources`]: moment-tensor point sources assembled into nodal forces,
+//!   plane-wave/Gaussian initial conditions,
+//! - [`receivers`]: seismograms and zero-phase low-pass filtering (for the
+//!   Fig 2.4-style waveform comparisons),
+//! - [`tet`]: the linear-tetrahedral baseline solver (node-based CSR
+//!   assembly — the "old" design the paper compares against),
+//! - [`scalar3d`]: a structured-grid scalar (SH/acoustic) wave solver with
+//!   the `march` API the inversion framework drives (Table 3.1's substrate),
+//! - [`analytic`]: closed-form solutions used for verification (Fig 2.2):
+//!   d'Alembert pulses and interface reflection/transmission coefficients,
+//! - [`distributed`]: the rank-parallel elastic solver over `quake-parcomm`
+//!   (owner-computes + interface sum-exchange), bit-identical to the serial
+//!   solver.
+
+pub mod abc;
+pub mod analytic;
+pub mod distributed;
+pub mod elastic;
+pub mod receivers;
+pub mod scalar3d;
+pub mod sources;
+pub mod tet;
+pub mod wave;
+
+pub use elastic::{ElasticConfig, ElasticSolver, RunResult};
+pub use scalar3d::{Scalar3dConfig, Scalar3dSolver};
+pub use wave::ScalarWaveEq;
+pub use receivers::{lowpass_filtfilt, Seismogram};
+
+pub use sources::{assemble_point_sources, AssembledSource};

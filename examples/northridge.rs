@@ -1,0 +1,50 @@
+//! A scaled Northridge-1994 scenario in the synthetic LA basin: adaptive
+//! octree meshing of soft sedimentary bowls, an extended thrust rupture
+//! with a radial rupture front, and basin-vs-bedrock station comparison.
+//!
+//! ```bash
+//! cargo run --release --example northridge
+//! ```
+
+use quake::core::{northridge_scenario, run_forward};
+
+fn main() {
+    // 20 km box, 0.5 Hz, 300 m/s sediment floor, 12 s of shaking.
+    let (model, mut scenario) = northridge_scenario(20_000.0, 0.5, 300.0, 12.0, 6);
+    scenario.meshing.max_level = 7;
+    println!(
+        "fault: strike {:.0} deg, dip {:.0} deg, rake {:.0} deg, M0 {:.2e} N m",
+        scenario.fault.strike.to_degrees(),
+        scenario.fault.dip.to_degrees(),
+        scenario.fault.rake.to_degrees(),
+        scenario.fault.total_moment
+    );
+    let out = run_forward(&model, &scenario);
+    print!("{}", out.mesh_stats.report());
+    println!(
+        "sustained {:.0} Mflop/s over {} steps ({:.1} s wall)",
+        out.result.flops as f64 / out.result.wall_secs / 1e6,
+        out.result.n_steps,
+        out.result.wall_secs
+    );
+    println!("\nstation | position (km)      | PGD (m)   | PGV (m/s)");
+    for (i, seis) in out.result.seismograms.iter().enumerate() {
+        let p = scenario.receivers[i];
+        let pgd = (0..3).map(|c| seis.peak(c)).fold(0.0f64, f64::max);
+        let pgv: f64 = (0..3)
+            .map(|c| seis.velocity(c).iter().fold(0.0f64, |m, v| m.max(v.abs())))
+            .fold(0.0, f64::max);
+        println!(
+            "{:7} | ({:5.1}, {:5.1}) | {:.3e} | {:.3e}",
+            i,
+            p[0] / 1000.0,
+            p[1] / 1000.0,
+            pgd,
+            pgv
+        );
+    }
+    println!(
+        "\n(stations over the sedimentary bowls show amplified, longer shaking\n\
+         than bedrock sites — the basin effect the paper resolves at 1 Hz)"
+    );
+}

@@ -1,0 +1,9 @@
+#!/bin/bash
+set -x
+cd /root/repo
+for b in fig2_2_verification fig2_1_etree fig2_3_mesh table3_1 fig3_3_source_inversion fig2_4_hex_vs_tet fig2_5_snapshots table2_1 fig3_2_material_inversion; do
+  echo "=== $b ==="
+  timeout 900 cargo run --release -p quake-bench --bin $b > results/$b.txt 2>&1
+  echo "exit: $?"
+done
+echo ALL_DONE
