@@ -218,10 +218,7 @@ mod tests {
             moment += fi * (x - 10.0 * s.cfg.h);
         }
         let expect = mu[0] * 1.0 * (4.0 * s.cfg.h);
-        assert!(
-            (moment - expect).abs() < 1e-6 * expect,
-            "moment {moment} vs {expect}"
-        );
+        assert!((moment - expect).abs() < 1e-6 * expect, "moment {moment} vs {expect}");
     }
 
     #[test]
@@ -254,13 +251,7 @@ mod tests {
         let mu = uniform_mu(&s);
         let mk = |dt: f64, dr: f64, da: f64| {
             let params = (4..8)
-                .map(|k| {
-                    SlipFunction::new(
-                        0.3 * (k - 4) as f64 + 0.1 + dt,
-                        0.8 + dr,
-                        1.0 + da,
-                    )
-                })
+                .map(|k| SlipFunction::new(0.3 * (k - 4) as f64 + 0.1 + dt, 0.8 + dr, 1.0 + da))
                 .collect();
             FaultSource::new(&s, &mu, 10, 4, 8, params)
         };

@@ -242,11 +242,16 @@ mod tests {
         let mu = vec![c.rho * vs * vs; s.n_elements()];
         let src = s.node(4, 8);
         let probe = s.node(16, 8); // 6 km away
-        let run = forward(&s, &mu, &mut |k, f| {
-            if k < 4 {
-                f[src] = 1e9;
-            }
-        }, true);
+        let run = forward(
+            &s,
+            &mu,
+            &mut |k, f| {
+                if k < 4 {
+                    f[src] = 1e9;
+                }
+            },
+            true,
+        );
         let series: Vec<f64> = run.states.iter().map(|u| u[probe].abs()).collect();
         let peak = series.iter().cloned().fold(0.0f64, f64::max);
         let arrival = series.iter().position(|&v| v > 0.05 * peak).unwrap() as f64 * c.dt;
@@ -267,11 +272,16 @@ mod tests {
             let s = ShSolver::new(&cc);
             let mu = vec![cc.rho * 2000.0 * 2000.0; s.n_elements()];
             let src = s.node(12, 2);
-            let run = forward(&s, &mu, &mut |k, f| {
-                if k < 4 {
-                    f[src] = 1e9;
-                }
-            }, true);
+            let run = forward(
+                &s,
+                &mu,
+                &mut |k, f| {
+                    if k < 4 {
+                        f[src] = 1e9;
+                    }
+                },
+                true,
+            );
             let amp = |u: &Vec<f64>| u.iter().map(|v| v * v).sum::<f64>().sqrt();
             (amp(&run.states[100]), amp(&run.states[400]))
         };
@@ -292,9 +302,8 @@ mod tests {
         c.n_steps = 50;
         let s = ShSolver::new(&c).with_surface_receivers(6);
         let ne = s.n_elements();
-        let mu0: Vec<f64> = (0..ne)
-            .map(|e| 2200.0 * 2000.0f64.powi(2) * (1.0 + 0.1 * ((e % 4) as f64)))
-            .collect();
+        let mu0: Vec<f64> =
+            (0..ne).map(|e| 2200.0 * 2000.0f64.powi(2) * (1.0 + 0.1 * ((e % 4) as f64))).collect();
         let mut mu_true = mu0.clone();
         for (i, v) in mu_true.iter_mut().enumerate() {
             *v *= 1.0 + 0.03 * ((i % 3) as f64);

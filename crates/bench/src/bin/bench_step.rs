@@ -1,0 +1,138 @@
+//! Step-kernel throughput benchmark: fused hot path vs the frozen reference.
+//!
+//! Times the explicit elastic step on a fixed multiresolution mesh with
+//! Rayleigh damping and absorbing boundaries — the configuration where the
+//! fused two-vector matvec matters — and reports steps/sec and
+//! element-updates/sec for:
+//!
+//! - `baseline`: `quake_solver::reference::reference_step`, the frozen
+//!   pre-optimization step (row-wise matvec, two passes per damped element,
+//!   per-step allocations),
+//! - `fused`: `ElasticSolver::step_with` (blocked `elastic_matvec2`,
+//!   preallocated workspace, zero steady-state allocations). With
+//!   `--features parallel` the element sweep inside it runs threaded over
+//!   the node-disjoint coloring; the JSON records which variant ran.
+//!
+//! The full run writes `BENCH_step_throughput.json` at the repo root; pass
+//! `--smoke` (CI) to run a tiny mesh in milliseconds and print the JSON to
+//! stdout without touching the committed file.
+
+use std::time::Instant;
+
+use quake_mesh::hexmesh::{ElemMaterial, HexMesh};
+use quake_octree::{BalanceMode, LinearOctree, MAX_LEVEL};
+use quake_solver::elastic::RayleighBand;
+use quake_solver::reference::reference_step;
+use quake_solver::{ElasticConfig, ElasticSolver};
+
+/// Multiresolution mesh: uniform `coarse` level with the x < 1/2 half refined
+/// one level deeper, 2:1 balanced — hanging nodes cross the interface.
+fn build_mesh(coarse: u8) -> HexMesh {
+    let half = 1u32 << (MAX_LEVEL - 1);
+    let fine = coarse + 1;
+    let mut tree = LinearOctree::build(|o| o.level < coarse || (o.level < fine && o.x < half));
+    tree.balance(BalanceMode::Full);
+    HexMesh::from_octree(&tree, 8.0, |_, _, _, _| ElemMaterial { lambda: 2.0, mu: 1.0, rho: 1.0 })
+}
+
+fn shear_pulse(mesh: &HexMesh) -> Vec<f64> {
+    let mut u = vec![0.0; 3 * mesh.n_nodes()];
+    for (i, c) in mesh.coords.iter().enumerate() {
+        let r2 = (c[0] - 4.0).powi(2) + (c[1] - 4.0).powi(2) + (c[2] - 4.0).powi(2);
+        u[3 * i + 1] = (-r2 / 2.0).exp();
+    }
+    mesh.interpolate_hanging(&mut u, 3);
+    u
+}
+
+/// Best-of-`trials` throughput of `n_steps` leapfrog steps of `step`.
+fn time_stepper(
+    mesh: &HexMesh,
+    u0: &[f64],
+    n_steps: usize,
+    trials: usize,
+    mut step: impl FnMut(&[f64], &[f64], &[f64], &mut [f64]),
+) -> (f64, f64) {
+    let ndof = 3 * mesh.n_nodes();
+    let f = vec![0.0; ndof];
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let mut up = u0.to_vec();
+        let mut un = u0.to_vec();
+        let mut next = vec![0.0; ndof];
+        let t = Instant::now();
+        for _ in 0..n_steps {
+            step(&up, &un, &f, &mut next);
+            std::mem::swap(&mut up, &mut un);
+            std::mem::swap(&mut un, &mut next);
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+        assert!(un.iter().all(|v| v.is_finite()), "stepper diverged");
+    }
+    let steps_per_sec = n_steps as f64 / best;
+    (steps_per_sec, steps_per_sec * mesh.n_elements() as f64)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (coarse, n_steps, trials) = if smoke { (2, 4, 1) } else { (4, 20, 3) };
+
+    let mesh = build_mesh(coarse);
+    let mut cfg = ElasticConfig::new(1.0);
+    cfg.dt = Some(if smoke { 0.05 } else { 0.01 });
+    cfg.abc = [true, true, true, true, false, true];
+    cfg.rayleigh = Some(RayleighBand { f_lo: 0.05, f_hi: 2.0 });
+    let solver = ElasticSolver::new(&mesh, &cfg);
+    let u0 = shear_pulse(&mesh);
+    println!(
+        "mesh: {} elements / {} nodes ({} hanging), dt = {}, {} steps x {} trials",
+        mesh.n_elements(),
+        mesh.n_nodes(),
+        mesh.n_hanging(),
+        solver.dt,
+        n_steps,
+        trials
+    );
+
+    let (base_sps, base_eups) = time_stepper(&mesh, &u0, n_steps, trials, |up, un, f, next| {
+        reference_step(&solver, up, un, f, next);
+    });
+    println!("baseline : {base_sps:>8.2} steps/s  {base_eups:>12.3e} element-updates/s");
+
+    let mut ws = solver.workspace();
+    let (fused_sps, fused_eups) = time_stepper(&mesh, &u0, n_steps, trials, |up, un, f, next| {
+        solver.step_with(up, un, f, next, &mut ws);
+    });
+    println!("fused    : {fused_sps:>8.2} steps/s  {fused_eups:>12.3e} element-updates/s");
+
+    let speedup = fused_eups / base_eups;
+    println!("speedup  : {speedup:.2}x element-updates/s (fused vs baseline)");
+    let parallel = cfg!(feature = "parallel");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"mesh_elements\": {},\n", mesh.n_elements()));
+    json.push_str(&format!("  \"mesh_nodes\": {},\n", mesh.n_nodes()));
+    json.push_str(&format!("  \"hanging_nodes\": {},\n", mesh.n_hanging()));
+    json.push_str(&format!("  \"n_steps\": {n_steps},\n  \"trials\": {trials},\n"));
+    json.push_str(&format!(
+        "  \"baseline\": {{ \"steps_per_sec\": {base_sps:.3}, \"element_updates_per_sec\": {base_eups:.1} }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"fused\": {{ \"steps_per_sec\": {fused_sps:.3}, \"element_updates_per_sec\": {fused_eups:.1}, \"parallel_sweep\": {parallel} }},\n"
+    ));
+    json.push_str(&format!("  \"speedup_fused_vs_baseline\": {speedup:.3}\n}}\n"));
+
+    if smoke {
+        println!("\n{json}");
+        println!("smoke mode: JSON not written");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_step_throughput.json");
+        std::fs::write(path, &json).expect("write BENCH_step_throughput.json");
+        println!("\nwrote {path}");
+    }
+    assert!(
+        speedup >= if smoke { 0.5 } else { 1.3 },
+        "fused step regressed below the 1.3x acceptance bar: {speedup:.2}x"
+    );
+}

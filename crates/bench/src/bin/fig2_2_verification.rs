@@ -11,9 +11,7 @@ use quake_bench::print_table;
 use quake_mesh::hexmesh::ElemMaterial;
 use quake_mesh::HexMesh;
 use quake_octree::LinearOctree;
-use quake_solver::analytic::{
-    dalembert_rightward, reflection_coefficient, sh1d_reference,
-};
+use quake_solver::analytic::{dalembert_rightward, reflection_coefficient, sh1d_reference};
 use quake_solver::{ElasticConfig, ElasticSolver};
 
 /// Run a pseudo-1-D shear pulse on a uniform mesh; return the relative L2
@@ -22,8 +20,10 @@ fn homogeneous_error(level: u8) -> (usize, f64) {
     let l = 16.0;
     let (lambda, mu, rho) = (2.0, 1.0, 1.0);
     let vs = (mu / rho as f64).sqrt();
-    let mesh = HexMesh::from_octree(&LinearOctree::uniform(level), l, |_, _, _, _| {
-        ElemMaterial { lambda, mu, rho }
+    let mesh = HexMesh::from_octree(&LinearOctree::uniform(level), l, |_, _, _, _| ElemMaterial {
+        lambda,
+        mu,
+        rho,
     });
     let mut cfg = ElasticConfig::new(1.0);
     cfg.abc = [false; 6];

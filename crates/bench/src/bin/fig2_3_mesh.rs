@@ -2,7 +2,9 @@
 //! octree mesh that resolves it, and the 64-PE element partition.
 
 use quake_bench::{ascii_heatmap, full_scale, print_table};
-use quake_mesh::{mesh_from_model, partition_morton, partition_rcb, ExchangePlan, MeshStats, MeshingParams};
+use quake_mesh::{
+    mesh_from_model, partition_morton, partition_rcb, ExchangePlan, MeshStats, MeshingParams,
+};
 use quake_model::{LaBasinModel, MaterialModel};
 use quake_octree::adapt::{uniform_equivalent_points, AdaptParams};
 
@@ -31,7 +33,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     let (_tree, mesh) = mesh_from_model(&meshing, &model);
     let stats = MeshStats::compute(&mesh);
-    println!("\nFig 2.3b: adaptive mesh for {fmax} Hz ({:.1}s to build)", t0.elapsed().as_secs_f64());
+    println!(
+        "\nFig 2.3b: adaptive mesh for {fmax} Hz ({:.1}s to build)",
+        t0.elapsed().as_secs_f64()
+    );
     print!("{}", stats.report());
     let adapt = AdaptParams {
         domain_size: extent,

@@ -39,10 +39,7 @@ fn main() {
     let (tree_f, mesh_f) = uniform_basin_mesh(&model, extent, fine_level);
     // Two stations: one over the basin ("JFP"-like), one near bedrock
     // ("TAR"-like).
-    let stations = [
-        [extent * 0.65, extent * 0.62, 0.0],
-        [extent * 0.15, extent * 0.2, 0.0],
-    ];
+    let stations = [[extent * 0.65, extent * 0.62, 0.0], [extent * 0.15, extent * 0.2, 0.0]];
     let rec_c: Vec<u32> = stations.iter().map(|&p| mesh_c.nearest_node(p)).collect();
     let rec_f: Vec<u32> = stations.iter().map(|&p| mesh_f.nearest_node(p)).collect();
 

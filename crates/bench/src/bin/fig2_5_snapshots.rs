@@ -44,11 +44,11 @@ fn main() {
         }
         ids
     };
-    let snap_times: Vec<f64> =
-        (1..=4).map(|k| duration * k as f64 / 4.0).collect();
+    let snap_times: Vec<f64> = (1..=4).map(|k| duration * k as f64 / 4.0).collect();
     let ndof = 3 * mesh.n_nodes();
     let (mut up, mut unow, mut unext) = (vec![0.0; ndof], vec![0.0; ndof], vec![0.0; ndof]);
     let mut f = vec![0.0; ndof];
+    let mut ws = solver.workspace();
     let mut peak = vec![0.0f64; n * n];
     let mut next_snap = 0usize;
     for k in 0..solver.n_steps {
@@ -57,7 +57,7 @@ fn main() {
         for s in &sources {
             s.add_force(t, &mut f);
         }
-        solver.step(&up, &unow, &f, &mut unext);
+        solver.step_with(&up, &unow, &f, &mut unext, &mut ws);
         // Track peak surface velocity magnitude.
         for (pix, &nd) in surface.iter().enumerate() {
             let b = nd as usize * 3;
@@ -102,10 +102,7 @@ fn main() {
     let (mut ahead, mut behind) = (0.0f64, 0.0f64);
     for j in 0..n {
         for i in 0..n {
-            let p = [
-                extent * (i as f64 + 0.5) / n as f64,
-                extent * (j as f64 + 0.5) / n as f64,
-            ];
+            let p = [extent * (i as f64 + 0.5) / n as f64, extent * (j as f64 + 0.5) / n as f64];
             let along = (p[0] - hypo[0]) * strike[0] + (p[1] - hypo[1]) * strike[1];
             let r = ((p[0] - hypo[0]).powi(2) + (p[1] - hypo[1]).powi(2)).sqrt();
             if r < extent * 0.12 || r > extent * 0.45 {

@@ -63,10 +63,8 @@ fn main() {
         let dims = *grids.last().unwrap();
         let map = MaterialMap::new(&sc.centers, sc.domain, dims);
         let mu_inv = map.interpolate(&m);
-        let vs_inv: Vec<f64> =
-            mu_inv.iter().map(|&mu| (mu / sc.section.rho).sqrt()).collect();
-        let vs_true: Vec<f64> =
-            sc.mu_true.iter().map(|&mu| (mu / sc.section.rho).sqrt()).collect();
+        let vs_inv: Vec<f64> = mu_inv.iter().map(|&mu| (mu / sc.section.rho).sqrt()).collect();
+        let vs_true: Vec<f64> = sc.mu_true.iter().map(|&mu| (mu / sc.section.rho).sqrt()).collect();
         println!("relative L2 error of recovered vs field: {:.3}", rel_l2(&vs_inv, &vs_true));
         if n_rec == 64 {
             ascii_heatmap("target vs (m/s)", &vs_true, nx, 70);
@@ -84,9 +82,8 @@ fn main() {
         let ps = quake_antiplane::ShSolver::new(&probe_solver);
         let dt = ps.dt();
         let tr = |mu: &[f64]| {
-            forward(&ps, mu, &mut |k, f| sc.fault.add_force(k as f64 * dt, f), false).traces
-                [0]
-            .clone()
+            forward(&ps, mu, &mut |k, f| sc.fault.add_force(k as f64 * dt, f), false).traces[0]
+                .clone()
         };
         let t_true = tr(&sc.mu_true);
         let t_guess = tr(&sc.mu_background);

@@ -37,10 +37,7 @@ fn main() {
 
     // The paper's three columns: initial guess, 5th iteration, converged.
     let pick = |it: usize| {
-        out.iterates
-            .iter()
-            .min_by_key(|(k, _, _, _)| k.abs_diff(it))
-            .expect("iterates recorded")
+        out.iterates.iter().min_by_key(|(k, _, _, _)| k.abs_diff(it)).expect("iterates recorded")
     };
     let fifth = pick(5);
     let ns = sc.fault_true.n_segments();
@@ -83,8 +80,8 @@ fn main() {
             .zip(a)
             .map(|((&dd, &rr), &aa)| quake_model::SlipFunction::new(dd, rr, aa))
             .collect();
-        forward(&sc.solver, &sc.mu, &mut |k, f| fault.add_force(k as f64 * dt, f), false)
-            .traces[receiver0]
+        forward(&sc.solver, &sc.mu, &mut |k, f| fault.add_force(k as f64 * dt, f), false).traces
+            [receiver0]
             .clone()
     };
     let target_tr = &sc.data[receiver0];

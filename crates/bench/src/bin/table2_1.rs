@@ -99,8 +99,7 @@ fn main() {
     let ppe_ref = mesh.n_nodes() as f64 / p_ref as f64;
     let vol_ref =
         (0..p_ref).map(|r| plan_ref.exchange_volume(r)).sum::<usize>() as f64 / p_ref as f64;
-    let nbr_ref =
-        ((0..p_ref).map(|r| plan_ref.plans[r].len()).sum::<usize>() + p_ref - 1) / p_ref;
+    let nbr_ref = ((0..p_ref).map(|r| plan_ref.plans[r].len()).sum::<usize>() + p_ref - 1) / p_ref;
     // Work imbalance: owned nodes per rank.
     let work_imbalance = {
         let mut owner = vec![u32::MAX; mesh.n_nodes()];
@@ -122,25 +121,19 @@ fn main() {
 
     let mut rows = Vec::new();
     for &(pe_paper, name, pts_paper, ppe_paper, mflops_paper, eff_paper) in PAPER {
-        let avg_volume =
-            (vol_ref * (ppe_paper as f64 / ppe_ref).powf(2.0 / 3.0)) as usize;
+        let avg_volume = (vol_ref * (ppe_paper as f64 / ppe_ref).powf(2.0 / 3.0)) as usize;
         let avg_neighbors = nbr_ref;
         let imbalance = work_imbalance;
         // Model the paper's PE count with that granularity: per-rank flops
         // from the paper's points/PE, one rank carrying the measured
         // imbalance.
-        let elems_per_pe = (ppe_paper as f64 * mesh.n_elements() as f64
-            / mesh.n_nodes() as f64) as u64;
-        let base_flops =
-            elems_per_pe * per_elem_flops + ppe_paper * flops::ELASTIC_NODE_UPDATE;
+        let elems_per_pe =
+            (ppe_paper as f64 * mesh.n_elements() as f64 / mesh.n_nodes() as f64) as u64;
+        let base_flops = elems_per_pe * per_elem_flops + ppe_paper * flops::ELASTIC_NODE_UPDATE;
         let p = pe_paper as usize;
         let ranks: Vec<RankWork> = (0..p)
             .map(|r| RankWork {
-                flops: if r == 0 {
-                    (base_flops as f64 * imbalance) as u64
-                } else {
-                    base_flops
-                },
+                flops: if r == 0 { (base_flops as f64 * imbalance) as u64 } else { base_flops },
                 n_neighbors: if p == 1 { 0 } else { avg_neighbors },
                 bytes_sent: if p == 1 { 0 } else { (avg_volume * 3 * 8) as u64 },
             })

@@ -61,11 +61,8 @@ fn main() {
     let data = forward(&solver, &mu_true, &mut |k, f| forcing(k, f), false).traces;
 
     // The material-grid sweep (scaled analogue of 125 .. 2,146,689).
-    let grids: Vec<usize> = if full_scale() {
-        vec![3, 5, 9, 13, 17, 25]
-    } else {
-        vec![3, 5, 7, 9, 13]
-    };
+    let grids: Vec<usize> =
+        if full_scale() { vec![3, 5, 9, 13, 17, 25] } else { vec![3, 5, 7, 9, 13] };
     let mut rows = Vec::new();
     for &g in &grids {
         let dims = [g, g, g];
@@ -78,16 +75,9 @@ fn main() {
         // The paper's mesh independence *requires* real regularization: the
         // TV term must add curvature on the fine scales the data cannot
         // constrain. beta is tunable via QUAKE_TV_BETA for the ablation.
-        let beta = std::env::var("QUAKE_TV_BETA")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1e-28);
-        let tv = TvReg {
-            dims,
-            spacing: [sp; 3],
-            eps: 0.02 * base / sp,
-            beta,
-        };
+        let beta =
+            std::env::var("QUAKE_TV_BETA").ok().and_then(|v| v.parse().ok()).unwrap_or(1e-28);
+        let tv = TvReg { dims, spacing: [sp; 3], eps: 0.02 * base / sp, beta };
         let m0 = vec![base; map.n_param()];
         let cfg = GnConfig {
             max_gn_iters: 40,
@@ -105,8 +95,11 @@ fn main() {
             format!("{}", stats.gn_iters),
             format!("{}", stats.cg_iters_total),
             format!("{avg:.1}"),
-            format!("{:.2e}", stats.misfit_history.last().copied().unwrap_or(0.0)
-                / stats.misfit_history.first().copied().unwrap_or(1.0)),
+            format!(
+                "{:.2e}",
+                stats.misfit_history.last().copied().unwrap_or(0.0)
+                    / stats.misfit_history.first().copied().unwrap_or(1.0)
+            ),
             format!("{}", stats.converged),
             format!("{:.1}", t0.elapsed().as_secs_f64()),
         ]);

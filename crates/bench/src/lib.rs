@@ -13,16 +13,11 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             *w = (*w).max(cell.len());
         }
     }
-    let line: String = header
-        .iter()
-        .zip(&widths)
-        .map(|(h, w)| format!("{h:>w$}  "))
-        .collect();
+    let line: String = header.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}  ")).collect();
     println!("{line}");
     println!("{}", "-".repeat(line.len()));
     for row in rows {
-        let line: String =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}  ")).collect();
+        let line: String = row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}  ")).collect();
         println!("{line}");
     }
 }

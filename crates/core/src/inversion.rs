@@ -67,8 +67,7 @@ pub fn material_scenario(
     .with_surface_receivers(n_receivers);
 
     let mu_true = solver.mu_from(|x, z| section.mu(x, z));
-    let mu_background =
-        vec![section.rho * section.homogeneous_guess_vs().powi(2); mu_true.len()];
+    let mu_background = vec![section.rho * section.homogeneous_guess_vs().powi(2); mu_true.len()];
 
     // Strike-slip fault perpendicular to the section, mid-basin (the
     // vertical line of Fig 3.2's target frame), hypocenter at depth.
@@ -76,17 +75,22 @@ pub fn material_scenario(
     let k_top = nz / 5;
     let k_bot = nz / 2;
     let hypo_k = (k_top + k_bot) / 2;
-    let fault =
-        FaultSource::from_hypocenter(&solver, &mu_background, i_fault, k_top, k_bot, hypo_k, 2800.0, 1.2, 1.0);
+    let fault = FaultSource::from_hypocenter(
+        &solver,
+        &mu_background,
+        i_fault,
+        k_top,
+        k_bot,
+        hypo_k,
+        2800.0,
+        1.2,
+        1.0,
+    );
 
     let dt_solver = solver.dt();
-    let mut data = forward(
-        &solver,
-        &mu_true,
-        &mut |k, f| fault.add_force(k as f64 * dt_solver, f),
-        false,
-    )
-    .traces;
+    let mut data =
+        forward(&solver, &mu_true, &mut |k, f| fault.add_force(k as f64 * dt_solver, f), false)
+            .traces;
     if noise > 0.0 {
         add_noise(&mut data, noise, seed);
     }
@@ -141,25 +145,12 @@ pub fn source_scenario(
     let k_top = nz / 6;
     let k_bot = (nz as f64 * 0.55) as usize;
     let hypo_k = (k_top + 2 * k_bot) / 3;
-    let fault_true = FaultSource::from_hypocenter(
-        &solver,
-        &mu,
-        nx / 2,
-        k_top,
-        k_bot,
-        hypo_k,
-        2800.0,
-        1.5,
-        1.0,
-    );
+    let fault_true =
+        FaultSource::from_hypocenter(&solver, &mu, nx / 2, k_top, k_bot, hypo_k, 2800.0, 1.5, 1.0);
     let dt_solver = solver.dt();
-    let mut data = forward(
-        &solver,
-        &mu,
-        &mut |k, f| fault_true.add_force(k as f64 * dt_solver, f),
-        false,
-    )
-    .traces;
+    let mut data =
+        forward(&solver, &mu, &mut |k, f| fault_true.add_force(k as f64 * dt_solver, f), false)
+            .traces;
     if noise > 0.0 {
         add_noise(&mut data, noise, seed);
     }
@@ -182,16 +173,9 @@ mod tests {
         let peak = sc.data.iter().flatten().fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(peak > 0.0);
         // Target moduli span the paper's velocity range.
-        let vs_min = sc
-            .mu_true
-            .iter()
-            .map(|&m| (m / sc.section.rho).sqrt())
-            .fold(f64::INFINITY, f64::min);
-        let vs_max = sc
-            .mu_true
-            .iter()
-            .map(|&m| (m / sc.section.rho).sqrt())
-            .fold(0.0f64, f64::max);
+        let vs_min =
+            sc.mu_true.iter().map(|&m| (m / sc.section.rho).sqrt()).fold(f64::INFINITY, f64::min);
+        let vs_max = sc.mu_true.iter().map(|&m| (m / sc.section.rho).sqrt()).fold(0.0f64, f64::max);
         assert!(vs_min < 1300.0 && vs_max > 3000.0, "{vs_min}..{vs_max}");
     }
 

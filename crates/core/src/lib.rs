@@ -11,6 +11,4 @@ pub mod forward;
 pub mod inversion;
 
 pub use forward::{northridge_scenario, run_forward, ForwardOutcome, ForwardScenario};
-pub use inversion::{
-    material_scenario, source_scenario, MaterialScenario, SourceScenario,
-};
+pub use inversion::{material_scenario, source_scenario, MaterialScenario, SourceScenario};

@@ -44,12 +44,8 @@ pub struct Pager {
 impl Pager {
     /// Create (truncating) a pager at `path` with a cache of `cache_pages`.
     pub fn create(path: &Path, cache_pages: usize) -> io::Result<Pager> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         Ok(Pager {
             file,
             cache: HashMap::new(),
@@ -157,12 +153,8 @@ impl Pager {
     pub fn flush(&mut self) -> io::Result<()> {
         // Ensure the file is long enough even if tail pages are clean zeros.
         self.file.set_len(self.page_count as u64 * PAGE_SIZE as u64)?;
-        let mut dirty: Vec<u32> = self
-            .cache
-            .iter()
-            .filter(|(_, p)| p.dirty)
-            .map(|(&id, _)| id)
-            .collect();
+        let mut dirty: Vec<u32> =
+            self.cache.iter().filter(|(_, p)| p.dirty).map(|(&id, _)| id).collect();
         dirty.sort_unstable();
         for id in dirty {
             let p = self.cache.get_mut(&id).unwrap();

@@ -275,9 +275,7 @@ impl EtreePipeline {
             rec[..8].copy_from_slice(&o.key().to_le_bytes());
             for c in 0..8usize {
                 let k = node_key(corner_coords(o, c));
-                let id = node_index
-                    .get(k)?
-                    .expect("element corner missing from node index");
+                let id = node_index.get(k)?.expect("element corner missing from node index");
                 rec[8 + 8 * c..16 + 8 * c].copy_from_slice(&id);
             }
             rec[72..72 + MaterialRec::ENCODED_SIZE].copy_from_slice(&m.encode());
@@ -361,9 +359,8 @@ fn ripple_store<S: OctantStore>(
         for &d in &dirs {
             let Some(p) = sample_point(&o, d) else { continue };
             loop {
-                let (n, _) = store
-                    .find_containing(p)?
-                    .expect("complete octree must cover sample point");
+                let (n, _) =
+                    store.find_containing(p)?.expect("complete octree must cover sample point");
                 if n.level + 1 >= o.level {
                     break;
                 }
@@ -390,9 +387,11 @@ mod tests {
     use crate::store::{DiskStore, MemStore};
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join("quake-etree-tests")
-            .join(format!("pipe-{}-{}", name, std::process::id()));
+        let dir = std::env::temp_dir().join("quake-etree-tests").join(format!(
+            "pipe-{}-{}",
+            name,
+            std::process::id()
+        ));
         std::fs::create_dir_all(&dir).unwrap();
         dir
     }

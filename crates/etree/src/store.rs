@@ -178,10 +178,7 @@ impl OctantStore for DiskStore {
     }
 
     fn floor(&mut self, key: u64) -> io::Result<Option<(Octant, MaterialRec)>> {
-        Ok(self
-            .tree
-            .floor(key)?
-            .map(|(k, v)| (Octant::from_key(k), MaterialRec::decode(&v))))
+        Ok(self.tree.floor(key)?.map(|(k, v)| (Octant::from_key(k), MaterialRec::decode(&v))))
     }
 
     fn scan_range(
@@ -251,7 +248,9 @@ mod tests {
     #[test]
     fn find_containing_identifies_leaf() {
         let mut mem = MemStore::new();
-        let tree = LinearOctree::build(|o| o.level < 2 || (o.level < 4 && o.x == 0 && o.y == 0 && o.z == 0));
+        let tree = LinearOctree::build(|o| {
+            o.level < 2 || (o.level < 4 && o.x == 0 && o.y == 0 && o.z == 0)
+        });
         for o in tree.leaves() {
             mem.insert(*o, MaterialRec::default()).unwrap();
         }

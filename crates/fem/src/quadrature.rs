@@ -36,10 +36,7 @@ pub fn gauss_1d(n: usize) -> Vec<QPoint<1>> {
         }
         _ => panic!("gauss_1d supports n = 1..=4, got {n}"),
     };
-    xs.iter()
-        .zip(&ws)
-        .map(|(&x, &w)| QPoint { xi: [0.5 * (x + 1.0)], w: 0.5 * w })
-        .collect()
+    xs.iter().zip(&ws).map(|(&x, &w)| QPoint { xi: [0.5 * (x + 1.0)], w: 0.5 * w }).collect()
 }
 
 /// Tensor-product rule on the unit square.
@@ -105,10 +102,8 @@ mod tests {
     #[test]
     fn tensor_rule_integrates_separable_polynomial() {
         // int over cube of x*y^2*z^3 = 1/2 * 1/3 * 1/4.
-        let v: f64 = gauss_3d(2)
-            .iter()
-            .map(|q| q.w * q.xi[0] * q.xi[1] * q.xi[1] * q.xi[2].powi(3))
-            .sum();
+        let v: f64 =
+            gauss_3d(2).iter().map(|q| q.w * q.xi[0] * q.xi[1] * q.xi[1] * q.xi[2].powi(3)).sum();
         assert!((v - 1.0 / 24.0).abs() < 1e-14);
     }
 

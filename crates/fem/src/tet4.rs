@@ -56,14 +56,8 @@ pub fn tet4_lumped_mass(v: &[[f64; 3]; 4], rho: f64) -> f64 {
 ///
 /// Returns local hex-corner indices for each tet. All tets are positively
 /// oriented for an axis-aligned cube.
-pub const HEX_TO_TETS: [[usize; 4]; 6] = [
-    [0, 1, 3, 7],
-    [0, 3, 2, 7],
-    [0, 2, 6, 7],
-    [0, 6, 4, 7],
-    [0, 4, 5, 7],
-    [0, 5, 1, 7],
-];
+pub const HEX_TO_TETS: [[usize; 4]; 6] =
+    [[0, 1, 3, 7], [0, 3, 2, 7], [0, 2, 6, 7], [0, 6, 4, 7], [0, 4, 5, 7], [0, 5, 1, 7]];
 
 #[cfg(test)]
 mod tests {

@@ -78,12 +78,7 @@ mod tests {
         apply(&x_true, &mut b);
         let (lmin, lmax) = spectrum_bounds(n);
         let x = frankel_two_step(&mut |v, y| apply(v, y), &b, lmin, lmax, 200);
-        let err: f64 = x
-            .iter()
-            .zip(&x_true)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
+        let err: f64 = x.iter().zip(&x_true).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         assert!(err < 1e-6, "error {err}");
     }
 
@@ -113,12 +108,7 @@ mod tests {
         let err = |x: &[f64]| -> f64 {
             x.iter().zip(&x_true).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
         };
-        assert!(
-            err(&x2) < 0.5 * err(&x1),
-            "frankel {} vs richardson {}",
-            err(&x2),
-            err(&x1)
-        );
+        assert!(err(&x2) < 0.5 * err(&x1), "frankel {} vs richardson {}", err(&x2), err(&x1));
     }
 
     #[test]

@@ -296,12 +296,8 @@ pub fn invert_material(
             let dmu = map.interpolate(v);
             // Incremental forward: A du_{k+1} = B du_k + C du_{k-1}
             //                      - dt^2 dK(dmu) u_k.
-            let inc = forward(
-                eq,
-                &mu,
-                &mut |k, f| eq.apply_dk(&dmu, &run.states[k], f, -1.0),
-                false,
-            );
+            let inc =
+                forward(eq, &mu, &mut |k, f| eq.apply_dk(&dmu, &run.states[k], f, -1.0), false);
             // Incremental adjoint from the incremental traces.
             let dadj = adjoint(eq, &mu, &inc.traces);
             let he = material_gradient(eq, &run.states, &dadj.states);
@@ -412,10 +408,7 @@ mod tests {
         let n = 12;
         let hess = |v: &[f64]| -> Vec<f64> {
             let s: f64 = v.iter().sum();
-            v.iter()
-                .enumerate()
-                .map(|(i, &x)| (2.0 + i as f64) * x + 0.5 * s)
-                .collect()
+            v.iter().enumerate().map(|(i, &x)| (2.0 + i as f64) * x + 0.5 * s).collect()
         };
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
         let b = hess(&x_true);
@@ -461,10 +454,7 @@ mod tests {
         let hb = hess(&b);
         let ahb = dot(&a, &hb);
         let bha = dot(&b, &ha);
-        assert!(
-            (ahb - bha).abs() < 1e-9 * (1.0 + ahb.abs()),
-            "H not symmetric: {ahb} vs {bha}"
-        );
+        assert!((ahb - bha).abs() < 1e-9 * (1.0 + ahb.abs()), "H not symmetric: {ahb} vs {bha}");
         assert!(dot(&a, &ha) >= -1e-9 * dot(&a, &a), "H not PSD");
     }
 
@@ -481,14 +471,9 @@ mod tests {
         m_true[5] = base * 1.25;
         m_true[6] = base * 0.8;
         let forcing = forcing_fn(40);
-        let data = forward(&s, &map.interpolate(&m_true), &mut |k, f| forcing(k, f), false)
-            .traces;
-        let tv = TvReg {
-            dims,
-            spacing: [2000.0, 2000.0, 1.0],
-            eps: 0.01 * base / 2000.0,
-            beta: 1e-26,
-        };
+        let data = forward(&s, &map.interpolate(&m_true), &mut |k, f| forcing(k, f), false).traces;
+        let tv =
+            TvReg { dims, spacing: [2000.0, 2000.0, 1.0], eps: 0.01 * base / 2000.0, beta: 1e-26 };
         let m0 = vec![base; map.n_param()];
         let cfg = GnConfig {
             max_gn_iters: 20,

@@ -23,9 +23,8 @@ impl MaterialMap {
     pub fn new(centers: &[[f64; 3]], domain: [f64; 3], dims: [usize; 3]) -> MaterialMap {
         assert!(dims.iter().all(|&d| d >= 1));
         let n_param = dims[0] * dims[1] * dims[2];
-        let idx = |i: usize, j: usize, k: usize| -> u32 {
-            (i + dims[0] * (j + dims[1] * k)) as u32
-        };
+        let idx =
+            |i: usize, j: usize, k: usize| -> u32 { (i + dims[0] * (j + dims[1] * k)) as u32 };
         let entries = centers
             .iter()
             .map(|c| {
@@ -101,10 +100,7 @@ impl MaterialMap {
     /// `mu_e = P m`.
     pub fn interpolate(&self, m: &[f64]) -> Vec<f64> {
         assert_eq!(m.len(), self.n_param);
-        self.entries
-            .iter()
-            .map(|ent| ent.iter().map(|&(p, w)| w * m[p as usize]).sum())
-            .collect()
+        self.entries.iter().map(|ent| ent.iter().map(|&(p, w)| w * m[p as usize]).sum()).collect()
     }
 
     /// `g_m = P^T g_e`.

@@ -16,11 +16,7 @@ pub fn misfit_value(traces: &[Vec<f64>], data: &[Vec<f64>], dt: f64) -> f64 {
 
 /// Residual traces `u - d`.
 pub fn residuals(traces: &[Vec<f64>], data: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    traces
-        .iter()
-        .zip(data)
-        .map(|(t, d)| t.iter().zip(d).map(|(a, b)| a - b).collect())
-        .collect()
+    traces.iter().zip(data).map(|(t, d)| t.iter().zip(d).map(|(a, b)| a - b).collect()).collect()
 }
 
 /// Add zero-mean uniform noise with RMS `level * rms(trace)` to each trace
@@ -75,13 +71,8 @@ mod tests {
         add_noise(&mut b, 0.05, 42);
         assert_eq!(a, b, "same seed must give same noise");
         let rms_clean = (clean.iter().map(|v| v * v).sum::<f64>() / 5000.0).sqrt();
-        let rms_noise = (a[0]
-            .iter()
-            .zip(&clean)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f64>()
-            / 5000.0)
-            .sqrt();
+        let rms_noise =
+            (a[0].iter().zip(&clean).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / 5000.0).sqrt();
         let ratio = rms_noise / rms_clean;
         assert!((ratio - 0.05).abs() < 0.01, "noise level {ratio}");
         let mut c = vec![clean.clone()];

@@ -71,10 +71,9 @@ pub fn invert_multiscale(
         // finest level of a frequency-continuation schedule).
         let nyquist = 0.5 / eq.dt();
         let level_data: Vec<Vec<f64>> = match &cfg.freq_schedule {
-            Some(fs) if fs[level] < nyquist => data
-                .iter()
-                .map(|t| lowpass_filtfilt(t, eq.dt(), fs[level]))
-                .collect(),
+            Some(fs) if fs[level] < nyquist => {
+                data.iter().map(|t| lowpass_filtfilt(t, eq.dt(), fs[level])).collect()
+            }
             _ => data.to_vec(),
         };
         let (m, stats) =
@@ -123,8 +122,8 @@ mod tests {
                 f[40] += 1e8;
             }
         };
-        let data = forward(&s, &map_fine.interpolate(&m_true), &mut |k, f| forcing(k, f), false)
-            .traces;
+        let data =
+            forward(&s, &map_fine.interpolate(&m_true), &mut |k, f| forcing(k, f), false).traces;
         let cfg = MultiscaleConfig {
             grids: vec![[2, 2, 1], [3, 2, 1], [4, 3, 1]],
             domain: [6000.0, 4000.0, 1.0],
@@ -152,12 +151,8 @@ mod tests {
         // Frequency continuation: low-pass the coarse levels' data. The
         // final level sees (almost) unfiltered data, so the recovery should
         // remain comparable.
-        let cfg_fc = MultiscaleConfig {
-            freq_schedule: Some(vec![0.5, 1.0, 1e9]),
-            ..cfg.clone()
-        };
-        let (m_fc, levels_fc) =
-            invert_multiscale(&s, &forcing, &data, &centers, base, &cfg_fc);
+        let cfg_fc = MultiscaleConfig { freq_schedule: Some(vec![0.5, 1.0, 1e9]), ..cfg.clone() };
+        let (m_fc, levels_fc) = invert_multiscale(&s, &forcing, &data, &centers, base, &cfg_fc);
         assert_eq!(levels_fc.len(), 3);
         let rel_fc = (m_fc[5] - m_true[5]).abs() / m_true[5];
         assert!(rel_fc < 0.15, "freq continuation degraded recovery: {rel_fc}");

@@ -60,8 +60,7 @@ impl TvReg {
         let mut acc = 0.0;
         let meas = self.cell_measure();
         for_each_cell(self.dims, self.spacing, |_, diffs| {
-            let g2: f64 =
-                diffs.iter().map(|&(a, b, h)| ((m[b] - m[a]) / h).powi(2)).sum();
+            let g2: f64 = diffs.iter().map(|&(a, b, h)| ((m[b] - m[a]) / h).powi(2)).sum();
             acc += (g2 + self.eps * self.eps).sqrt() * meas;
         });
         self.beta * acc
@@ -71,8 +70,7 @@ impl TvReg {
     pub fn gradient(&self, m: &[f64], g: &mut [f64]) {
         let meas = self.cell_measure();
         for_each_cell(self.dims, self.spacing, |_, diffs| {
-            let g2: f64 =
-                diffs.iter().map(|&(a, b, h)| ((m[b] - m[a]) / h).powi(2)).sum();
+            let g2: f64 = diffs.iter().map(|&(a, b, h)| ((m[b] - m[a]) / h).powi(2)).sum();
             let denom = (g2 + self.eps * self.eps).sqrt();
             for &(a, b, h) in diffs {
                 let d = (m[b] - m[a]) / h / denom * meas / h;
@@ -87,8 +85,7 @@ impl TvReg {
     pub fn diffusivity(&self, m: &[f64]) -> Vec<f64> {
         let mut c = Vec::new();
         for_each_cell(self.dims, self.spacing, |_, diffs| {
-            let g2: f64 =
-                diffs.iter().map(|&(a, b, h)| ((m[b] - m[a]) / h).powi(2)).sum();
+            let g2: f64 = diffs.iter().map(|&(a, b, h)| ((m[b] - m[a]) / h).powi(2)).sum();
             c.push(1.0 / (g2 + self.eps * self.eps).sqrt());
         });
         c

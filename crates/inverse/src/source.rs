@@ -91,11 +91,7 @@ fn fault_with(template: &FaultSource, th: &Theta) -> FaultSource {
 }
 
 /// Reduced gradient assembly: `-dt^2 sum_k lambda_{k+1}^T df_k/dtheta`.
-fn assemble_source_gradient(
-    eq: &ShSolver,
-    fault: &FaultSource,
-    lambda: &[Vec<f64>],
-) -> Vec<f64> {
+fn assemble_source_gradient(eq: &ShSolver, fault: &FaultSource, lambda: &[Vec<f64>]) -> Vec<f64> {
     let ns = fault.n_segments();
     let dt = eq.dt();
     let dt2 = dt * dt;
@@ -130,11 +126,7 @@ pub fn invert_source(
     assert_eq!(initial.1.len(), ns);
     assert_eq!(initial.2.len(), ns);
     let spacing_h = eq.cfg.h;
-    let reg = |beta: f64| TikhonovReg {
-        dims: [ns, 1, 1],
-        spacing: [spacing_h, 1.0, 1.0],
-        beta,
-    };
+    let reg = |beta: f64| TikhonovReg { dims: [ns, 1, 1], spacing: [spacing_h, 1.0, 1.0], beta };
     let reg_d = reg(cfg.beta_delay);
     let reg_r = reg(cfg.beta_rise);
     let reg_a = reg(cfg.beta_amplitude);
@@ -158,21 +150,16 @@ pub fn invert_source(
         misfit_value(&run.traces, data, eq.dt()) + rv
     };
 
-    let mut th = Theta {
-        delays: initial.0.to_vec(),
-        rises: initial.1.to_vec(),
-        amps: initial.2.to_vec(),
-    };
+    let mut th =
+        Theta { delays: initial.0.to_vec(), rises: initial.1.to_vec(), amps: initial.2.to_vec() };
     let mut stats = GnStats::default();
-    let mut iterates =
-        vec![(0usize, th.delays.clone(), th.rises.clone(), th.amps.clone())];
+    let mut iterates = vec![(0usize, th.delays.clone(), th.rises.clone(), th.amps.clone())];
     let mut precond = Lbfgs::new(cfg.gn.lbfgs_memory);
     let mut g0_norm: Option<f64> = None;
 
     for it in 0..cfg.gn.max_gn_iters {
         let fault = fault_with(template, &th);
-        let run =
-            forward(eq, mu, &mut |k, f| fault.add_force(k as f64 * eq.dt(), f), false);
+        let run = forward(eq, mu, &mut |k, f| fault.add_force(k as f64 * eq.dt(), f), false);
         let jd = misfit_value(&run.traces, data, eq.dt());
         let jtot = jd + reg_value(&th);
         let res = residuals(&run.traces, data);
@@ -305,10 +292,8 @@ mod tests {
         let (s, mu, template) = setup();
         let ns = template.n_segments();
         // Target data from the template's own parameters.
-        let data = forward(&s, &mu, &mut |k, f| {
-            template.add_force(k as f64 * s.dt(), f)
-        }, false)
-        .traces;
+        let data =
+            forward(&s, &mu, &mut |k, f| template.add_force(k as f64 * s.dt(), f), false).traces;
         // Evaluate the gradient at a perturbed point.
         let th = Theta {
             delays: template.params.iter().map(|p| p.delay + 0.13).collect(),
@@ -324,8 +309,7 @@ mod tests {
         let misfit_of = |flat: &[f64]| -> f64 {
             let t = Theta::from_flat(flat, ns);
             let fault = fault_with(&template, &t);
-            let run =
-                forward(&s, &mu, &mut |k, f| fault.add_force(k as f64 * s.dt(), f), false);
+            let run = forward(&s, &mu, &mut |k, f| fault.add_force(k as f64 * s.dt(), f), false);
             misfit_value(&run.traces, &data, s.dt())
         };
         let flat = th.to_flat();
@@ -344,10 +328,8 @@ mod tests {
     #[test]
     fn recovers_target_source() {
         let (s, mu, template) = setup();
-        let data = forward(&s, &mu, &mut |k, f| {
-            template.add_force(k as f64 * s.dt(), f)
-        }, false)
-        .traces;
+        let data =
+            forward(&s, &mu, &mut |k, f| template.add_force(k as f64 * s.dt(), f), false).traces;
         let ns = template.n_segments();
         // Start from a wrong guess: constant delay, slower rise, weaker slip.
         let d0 = vec![0.5; ns];

@@ -195,15 +195,7 @@ impl HexMesh {
             }
         }
 
-        HexMesh {
-            domain_size,
-            coords,
-            grid_coords,
-            elements,
-            constraints,
-            hanging,
-            boundary_faces,
-        }
+        HexMesh { domain_size, coords, grid_coords, elements, constraints, hanging, boundary_faces }
     }
 
     pub fn n_nodes(&self) -> usize {

@@ -12,13 +12,17 @@
 //!   chunking and recursive coordinate bisection — plus communication plans
 //!   (shared-node exchange lists) and edge-cut/imbalance statistics
 //!   (the ParMETIS substitute, see DESIGN.md),
+//! - [`coloring`]: node-disjoint element coloring for race-free parallel
+//!   assembly in the explicit step,
 //! - [`stats`]: the mesh summaries behind Fig 2.3.
 
+pub mod coloring;
 pub mod driver;
 pub mod hexmesh;
 pub mod partition;
 pub mod stats;
 
+pub use coloring::{color_elements, ElementColoring};
 pub use driver::{mesh_from_model, MeshingParams};
 pub use hexmesh::{BoundaryFace, Constraint, ElemMaterial, Element, HexMesh};
 pub use partition::{partition_morton, partition_rcb, ExchangePlan, PartitionStats};

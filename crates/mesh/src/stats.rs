@@ -84,8 +84,10 @@ mod tests {
 
     #[test]
     fn stats_of_uniform_mesh() {
-        let m = HexMesh::from_octree(&LinearOctree::uniform(2), 100.0, |_, _, _, _| {
-            ElemMaterial { lambda: 2e9, mu: 1e9, rho: 2000.0 }
+        let m = HexMesh::from_octree(&LinearOctree::uniform(2), 100.0, |_, _, _, _| ElemMaterial {
+            lambda: 2e9,
+            mu: 1e9,
+            rho: 2000.0,
         });
         let s = MeshStats::compute(&m);
         assert_eq!(s.n_elements, 64);

@@ -25,7 +25,7 @@ pub struct LaBasinModel {
 impl LaBasinModel {
     /// The default two-bowl model on an 80 km box.
     pub fn standard(vs_min: f64) -> LaBasinModel {
-        assert!(vs_min >= 50.0 && vs_min < 1000.0, "vs_min {vs_min} out of range");
+        assert!((50.0..1000.0).contains(&vs_min), "vs_min {vs_min} out of range");
         LaBasinModel {
             extent: 80_000.0,
             vs_min,
@@ -47,11 +47,7 @@ impl LaBasinModel {
         LaBasinModel {
             extent,
             vs_min,
-            bowls: std
-                .bowls
-                .iter()
-                .map(|b| [b[0] * s, b[1] * s, b[2] * s, b[3] * s])
-                .collect(),
+            bowls: std.bowls.iter().map(|b| [b[0] * s, b[1] * s, b[2] * s, b[3] * s]).collect(),
         }
     }
 
@@ -178,11 +174,7 @@ mod tests {
         for i in 0..10 {
             for j in 0..10 {
                 for k in 0..10 {
-                    let mat = m.sample(
-                        i as f64 * 8_000.0,
-                        j as f64 * 8_000.0,
-                        k as f64 * 2_500.0,
-                    );
+                    let mat = m.sample(i as f64 * 8_000.0, j as f64 * 8_000.0, k as f64 * 2_500.0);
                     mat.validate();
                 }
             }

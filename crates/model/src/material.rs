@@ -190,11 +190,7 @@ mod tests {
     fn layered_min_vs_sees_buried_soft_layer() {
         // Stiff crust over a soft low-velocity zone: a box spanning the
         // interface must report the soft vs even though its corners are stiff.
-        let m = LayeredModel::new(vec![
-            (0.0, stiff()),
-            (1000.0, soft()),
-            (1200.0, stiff()),
-        ]);
+        let m = LayeredModel::new(vec![(0.0, stiff()), (1000.0, soft()), (1200.0, stiff())]);
         let min = m.min_vs_in_box([0.0, 0.0, 900.0], [100.0, 100.0, 1300.0]);
         assert_eq!(min, 400.0);
         // A box entirely above stays stiff.

@@ -170,22 +170,14 @@ impl ExtendedFault {
 
     /// Unit vector down dip.
     pub fn dip_dir(&self) -> [f64; 3] {
-        [
-            -self.strike.sin() * self.dip.cos(),
-            self.strike.cos() * self.dip.cos(),
-            self.dip.sin(),
-        ]
+        [-self.strike.sin() * self.dip.cos(), self.strike.cos() * self.dip.cos(), self.dip.sin()]
     }
 
     /// Fault-plane normal (strike x dip).
     pub fn normal(&self) -> [f64; 3] {
         let s = self.strike_dir();
         let d = self.dip_dir();
-        [
-            s[1] * d[2] - s[2] * d[1],
-            s[2] * d[0] - s[0] * d[2],
-            s[0] * d[1] - s[1] * d[0],
-        ]
+        [s[1] * d[2] - s[2] * d[1], s[2] * d[0] - s[0] * d[2], s[0] * d[1] - s[1] * d[0]]
     }
 
     fn point_on_plane(&self, u: f64, v: f64) -> [f64; 3] {
@@ -306,12 +298,9 @@ mod tests {
 
     #[test]
     fn moment_tensor_is_symmetric_trace_free_double_couple() {
-        for (strike, dip, rake) in [
-            (0.0, 90.0, 0.0),
-            (122.0, 40.0, 101.0),
-            (45.0, 60.0, -90.0),
-            (200.0, 30.0, 170.0),
-        ] {
+        for (strike, dip, rake) in
+            [(0.0, 90.0, 0.0), (122.0, 40.0, 101.0), (45.0, 60.0, -90.0), (200.0, 30.0, 170.0)]
+        {
             let m0 = 2.5e18;
             let m = DoubleCouple::moment_tensor(
                 f64::to_radians(strike),
@@ -369,10 +358,8 @@ mod tests {
             assert!((s.slip.delay - dist / f.rupture_velocity).abs() < 1e-9);
         }
         // Moment is conserved: sum of subfault Frobenius norms = total.
-        let frob_sub: f64 = srcs
-            .iter()
-            .map(|s| s.moment.iter().flatten().map(|v| v * v).sum::<f64>().sqrt())
-            .sum();
+        let frob_sub: f64 =
+            srcs.iter().map(|s| s.moment.iter().flatten().map(|v| v * v).sum::<f64>().sqrt()).sum();
         assert!((frob_sub - 2.0f64.sqrt() * f.total_moment).abs() < 1e-3 * f.total_moment);
     }
 

@@ -74,12 +74,10 @@ fn spread2(v: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn encode_decode_roundtrip_corners() {
-        for &(x, y, z) in
-            &[(0, 0, 0), (GRID - 1, GRID - 1, GRID - 1), (1, 2, 3), (GRID - 1, 0, 1)]
+        for &(x, y, z) in &[(0, 0, 0), (GRID - 1, GRID - 1, GRID - 1), (1, 2, 3), (GRID - 1, 0, 1)]
         {
             assert_eq!(morton_decode(morton_encode(x, y, z)), (x, y, z));
         }
@@ -116,30 +114,50 @@ mod tests {
         assert_eq!(parent >> 30, child >> 30);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(x in 0u32..GRID, y in 0u32..GRID, z in 0u32..GRID) {
-            prop_assert_eq!(morton_decode(morton_encode(x, y, z)), (x, y, z));
-        }
+    /// Deterministic LCG over sampled coordinates (randomized-property
+    /// tests without an external crate — the build is offline).
+    fn samples(seed: u64, n: usize) -> impl Iterator<Item = u64> {
+        let mut state = seed;
+        (0..n).map(move |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 11
+        })
+    }
 
-        #[test]
-        fn prop_monotone_along_axes(x in 0u32..GRID-1, y in 0u32..GRID, z in 0u32..GRID) {
-            // Morton order is monotone when only one coordinate grows and the
-            // others are fixed (x and x+1 may differ in many bits, but the
-            // interleaved compare still follows the highest changed bit).
-            prop_assert!(morton_encode(x, y, z) < morton_encode(x + 1, y, z));
+    #[test]
+    fn prop_roundtrip() {
+        for s in samples(0xA001, 600) {
+            let (x, y, z) =
+                ((s as u32) % GRID, ((s >> 16) as u32) % GRID, ((s >> 32) as u32) % GRID);
+            assert_eq!(morton_decode(morton_encode(x, y, z)), (x, y, z));
         }
+    }
 
-        #[test]
-        fn prop_2d_roundtrip_order(x in 0u32..65536u32, y in 0u32..65536u32) {
+    #[test]
+    fn prop_monotone_along_axes() {
+        // Morton order is monotone when only one coordinate grows and the
+        // others are fixed (x and x+1 may differ in many bits, but the
+        // interleaved compare still follows the highest changed bit).
+        for s in samples(0xA002, 600) {
+            let x = (s as u32) % (GRID - 1);
+            let (y, z) = (((s >> 16) as u32) % GRID, ((s >> 32) as u32) % GRID);
+            assert!(morton_encode(x, y, z) < morton_encode(x + 1, y, z));
+        }
+    }
+
+    #[test]
+    fn prop_2d_roundtrip_order() {
+        for s in samples(0xA003, 600) {
+            let (x, y) = ((s as u32) % 65536, ((s >> 20) as u32) % 65536);
             let m = morton_encode_2d(x, y);
             // Decode by collapsing alternate bits.
-            let mut dx = 0u32; let mut dy = 0u32;
+            let mut dx = 0u32;
+            let mut dy = 0u32;
             for b in 0..32 {
-                dx |= (((m >> (2*b)) & 1) as u32) << b;
-                dy |= (((m >> (2*b+1)) & 1) as u32) << b;
+                dx |= (((m >> (2 * b)) & 1) as u32) << b;
+                dy |= (((m >> (2 * b + 1)) & 1) as u32) << b;
             }
-            prop_assert_eq!((dx, dy), (x, y));
+            assert_eq!((dx, dy), (x, y));
         }
     }
 }

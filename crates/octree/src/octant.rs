@@ -23,7 +23,7 @@ impl Octant {
         let o = Octant { x, y, z, level };
         debug_assert!(level <= MAX_LEVEL);
         debug_assert!(
-            x % o.size() == 0 && y % o.size() == 0 && z % o.size() == 0,
+            x.is_multiple_of(o.size()) && y.is_multiple_of(o.size()) && z.is_multiple_of(o.size()),
             "octant corner not aligned to its size"
         );
         debug_assert!(x < GRID && y < GRID && z < GRID);
@@ -176,7 +176,6 @@ impl Ord for Octant {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn key_roundtrip_and_preorder() {
@@ -227,30 +226,62 @@ mod tests {
         assert_eq!(Octant::face_directions().len(), 6);
     }
 
-    proptest! {
-        #[test]
-        fn prop_key_roundtrip(xb in 0u32..256, yb in 0u32..256, zb in 0u32..256, level in 0u8..=8) {
-            let s = 1u32 << (MAX_LEVEL - level);
-            let o = Octant::new((xb % (1<<level)) * s, (yb % (1<<level)) * s, (zb % (1<<level)) * s, level);
-            prop_assert_eq!(Octant::from_key(o.key()), o);
-        }
+    /// Deterministic LCG sample stream (randomized-property tests without
+    /// an external crate — the build is offline).
+    fn samples(seed: u64, n: usize) -> impl Iterator<Item = u64> {
+        let mut state = seed;
+        (0..n).map(move |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 11
+        })
+    }
 
-        #[test]
-        fn prop_child_parent_roundtrip(xb in 0u32..64, yb in 0u32..64, zb in 0u32..64, level in 0u8..=6, i in 0usize..8) {
+    #[test]
+    fn prop_key_roundtrip() {
+        for r in samples(0xB001, 400) {
+            let (xb, yb, zb) =
+                ((r as u32) % 256, ((r >> 8) as u32) % 256, ((r >> 16) as u32) % 256);
+            let level = ((r >> 24) % 9) as u8;
             let s = 1u32 << (MAX_LEVEL - level);
-            let o = Octant::new((xb % (1<<level)) * s, (yb % (1<<level)) * s, (zb % (1<<level)) * s, level);
-            prop_assert_eq!(o.child(i).parent(), Some(o));
+            let o = Octant::new(
+                (xb % (1 << level)) * s,
+                (yb % (1 << level)) * s,
+                (zb % (1 << level)) * s,
+                level,
+            );
+            assert_eq!(Octant::from_key(o.key()), o);
         }
+    }
 
-        #[test]
-        fn prop_descendant_keys_nest_between_siblings(i in 0usize..8, j in 0usize..8) {
-            // Every descendant of child i keys between child i and child i+1.
-            let o = Octant::ROOT;
-            let ci = o.child(i);
-            let desc = ci.child(j);
-            prop_assert!(desc.key() > ci.key());
-            if i < 7 {
-                prop_assert!(desc.key() < o.child(i + 1).key());
+    #[test]
+    fn prop_child_parent_roundtrip() {
+        for r in samples(0xB002, 400) {
+            let (xb, yb, zb) = ((r as u32) % 64, ((r >> 8) as u32) % 64, ((r >> 16) as u32) % 64);
+            let level = ((r >> 24) % 7) as u8;
+            let i = ((r >> 28) % 8) as usize;
+            let s = 1u32 << (MAX_LEVEL - level);
+            let o = Octant::new(
+                (xb % (1 << level)) * s,
+                (yb % (1 << level)) * s,
+                (zb % (1 << level)) * s,
+                level,
+            );
+            assert_eq!(o.child(i).parent(), Some(o));
+        }
+    }
+
+    #[test]
+    fn prop_descendant_keys_nest_between_siblings() {
+        // Every descendant of child i keys between child i and child i+1.
+        for i in 0..8usize {
+            for j in 0..8usize {
+                let o = Octant::ROOT;
+                let ci = o.child(i);
+                let desc = ci.child(j);
+                assert!(desc.key() > ci.key());
+                if i < 7 {
+                    assert!(desc.key() < o.child(i + 1).key());
+                }
             }
         }
     }

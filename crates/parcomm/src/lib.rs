@@ -16,7 +16,7 @@
 //! Correctness (data movement, ordering, determinism) is real; *timing* of a
 //! 3000-PE machine is the job of `quake-machine`.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 /// A message between ranks: a tag plus a payload of doubles.
@@ -49,9 +49,7 @@ impl Communicator {
     /// Send `data` to `to` with a tag (non-blocking; channels are unbounded).
     pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
         assert!(to < self.size && to != self.rank, "invalid destination {to}");
-        self.senders[to]
-            .send(Message { tag, data })
-            .expect("peer rank hung up");
+        self.senders[to].send(Message { tag, data }).expect("peer rank hung up");
     }
 
     /// Blocking receive of the next message from `from`; panics on tag
@@ -146,48 +144,38 @@ impl Communicator {
 /// Run `f` on `n_ranks` ranks, returning the per-rank results in rank order.
 pub fn run_spmd<R: Send>(n_ranks: usize, f: impl Fn(&Communicator) -> R + Sync) -> Vec<R> {
     assert!(n_ranks > 0);
-    // Channel matrix: chan[i][j] carries i -> j.
-    let mut senders: Vec<Vec<Option<Sender<Message>>>> = (0..n_ranks)
-        .map(|_| (0..n_ranks).map(|_| None).collect())
-        .collect();
-    let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..n_ranks)
-        .map(|_| (0..n_ranks).map(|_| None).collect())
-        .collect();
+    // Channel matrix: chan[i][j] carries i -> j. The diagonal (self)
+    // channels are created but never used — `send` asserts `to != rank`.
+    let mut senders: Vec<Vec<Option<Sender<Message>>>> =
+        (0..n_ranks).map(|_| (0..n_ranks).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
+        (0..n_ranks).map(|_| (0..n_ranks).map(|_| None).collect()).collect();
     for i in 0..n_ranks {
         for j in 0..n_ranks {
-            if i != j {
-                let (s, r) = unbounded();
-                senders[i][j] = Some(s);
-                receivers[j][i] = Some(r);
-            }
+            let (s, r) = channel();
+            senders[i][j] = Some(s);
+            receivers[j][i] = Some(r);
         }
     }
     let barrier = Arc::new(Barrier::new(n_ranks));
     let mut comms: Vec<Communicator> = Vec::with_capacity(n_ranks);
     for (rank, (srow, rrow)) in senders.into_iter().zip(receivers).enumerate() {
-        // Self-channels are unused placeholders.
-        let (self_s, self_r) = unbounded();
         comms.push(Communicator {
             rank,
             size: n_ranks,
-            senders: srow
-                .into_iter()
-                .map(|s| s.unwrap_or_else(|| self_s.clone()))
-                .collect(),
-            receivers: rrow.into_iter().map(|r| r.unwrap_or_else(|| self_r.clone())).collect(),
+            senders: srow.into_iter().map(|s| s.unwrap()).collect(),
+            receivers: rrow.into_iter().map(|r| r.unwrap()).collect(),
             barrier: barrier.clone(),
         });
     }
 
+    // Each rank's Communicator moves into its own thread (mpsc receivers are
+    // Send but not Sync); results come back in rank order via the handles.
     let f = &f;
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = comms
-            .iter()
-            .map(|comm| scope.spawn(move |_| f(comm)))
-            .collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms.into_iter().map(|comm| scope.spawn(move || f(&comm))).collect();
         handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
     })
-    .expect("SPMD scope failed")
 }
 
 #[cfg(test)]
@@ -199,11 +187,7 @@ mod tests {
         let n = 4;
         let results = run_spmd(n, |c| {
             // Pass a token around the ring, each rank adds its id.
-            let mut token = if c.rank() == 0 {
-                vec![0.0]
-            } else {
-                c.recv(c.rank() - 1, 7)
-            };
+            let mut token = if c.rank() == 0 { vec![0.0] } else { c.recv(c.rank() - 1, 7) };
             token[0] += c.rank() as f64;
             if c.rank() + 1 < c.size() {
                 c.send(c.rank() + 1, 7, token.clone());

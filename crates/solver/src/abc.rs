@@ -89,9 +89,10 @@ pub fn accumulate_abc_damping(faces: &[AbcFace], diag: &mut [f64]) {
     }
 }
 
-/// Add the `K^AB` traction forces at displacement `u` into `force`
-/// (physical units; the caller scales by `dt^2`).
-pub fn apply_abc_stiffness(faces: &[AbcFace], u: &[f64], force: &mut [f64]) {
+/// Add `scale` times the `K^AB` traction forces at displacement `u` into
+/// `force`. The scale parameter lets the solver accumulate `dt^2 * t` into
+/// its rhs directly, with no intermediate traction vector.
+pub fn apply_abc_stiffness(faces: &[AbcFace], u: &[f64], force: &mut [f64], scale: f64) {
     let fnd = quad4_n_dn_unit();
     for f in faces {
         // Gather the face displacements.
@@ -114,9 +115,9 @@ pub fn apply_abc_stiffness(faces: &[AbcFace], u: &[f64], force: &mut [f64]) {
                 dn0 += fnd[0][r][c] * un[c];
                 dn1 += fnd[1][r][c] * un[c];
             }
-            force[base + f.normal_axis] += f.normal_sign * f.c1_h * div;
-            force[base + f.tangent_axes[0]] -= f.c1_h * dn0;
-            force[base + f.tangent_axes[1]] -= f.c1_h * dn1;
+            force[base + f.normal_axis] += scale * f.normal_sign * f.c1_h * div;
+            force[base + f.tangent_axes[0]] -= scale * f.c1_h * dn0;
+            force[base + f.tangent_axes[1]] -= scale * f.c1_h * dn1;
         }
     }
 }
@@ -179,7 +180,7 @@ mod tests {
         assert!(faces[0].c1_h.abs() > 0.01);
         let u = vec![1.0; m.n_nodes() * 3];
         let mut f = vec![0.0; m.n_nodes() * 3];
-        apply_abc_stiffness(&faces, &u, &mut f);
+        apply_abc_stiffness(&faces, &u, &mut f, 1.0);
         for v in f {
             assert!(v.abs() < 1e-12);
         }
@@ -192,8 +193,10 @@ mod tests {
         // minimum, total force from a linear normal field must cancel between
         // opposite tangential directions. Check sum of tangential forces = 0
         // for un linear in tau (pure couple).
-        let m = HexMesh::from_octree(&LinearOctree::uniform(1), 2.0, |_, _, _, _| {
-            ElemMaterial { lambda: 3.0, mu: 1.0, rho: 1.0 }
+        let m = HexMesh::from_octree(&LinearOctree::uniform(1), 2.0, |_, _, _, _| ElemMaterial {
+            lambda: 3.0,
+            mu: 1.0,
+            rho: 1.0,
         });
         let faces = build_abc_faces(&m, [true, false, false, false, false, false]);
         let mut u = vec![0.0; m.n_nodes() * 3];
@@ -204,7 +207,7 @@ mod tests {
             }
         }
         let mut f = vec![0.0; m.n_nodes() * 3];
-        apply_abc_stiffness(&faces, &u, &mut f);
+        apply_abc_stiffness(&faces, &u, &mut f, 1.0);
         let ty: f64 = (0..m.n_nodes()).map(|n| f[3 * n + 1]).sum();
         // The net tangential thrust int c1 dun/dy dA is nonzero (it is the
         // absorbed shear); but the *z*-tangential force must vanish since

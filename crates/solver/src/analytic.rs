@@ -62,9 +62,8 @@ pub fn sh1d_reference(
     // Cell-centered mu, node-centered rho.
     let mu_c: Vec<f64> = (0..n_cells).map(|i| mu((i as f64 + 0.5) * dz)).collect();
     let rho_n: Vec<f64> = (0..n).map(|i| rho(i as f64 * dz)).collect();
-    let vmax = (0..n_cells)
-        .map(|i| (mu_c[i] / rho_n[i].min(rho_n[i + 1])).sqrt())
-        .fold(0.0f64, f64::max);
+    let vmax =
+        (0..n_cells).map(|i| (mu_c[i] / rho_n[i].min(rho_n[i + 1])).sqrt()).fold(0.0f64, f64::max);
     let dt = 0.5 * dz / vmax;
     let steps = (t_end / dt).ceil() as usize;
 

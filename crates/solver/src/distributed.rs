@@ -52,22 +52,24 @@ pub fn run_distributed(
             }
         }
     }
-    let masks: Vec<Vec<bool>> = (0..n_ranks as u32)
-        .map(|r| owner.iter().map(|&o| o == r).collect())
+    // Per-rank step schedules (element coloring + boundary faces + owned
+    // mask), built ONCE — the per-step face filtering the old code did is
+    // gone.
+    let scopes: Vec<_> = (0..n_ranks)
+        .map(|r| solver.scope(&per_rank[r], Some(owner.iter().map(|&o| o == r as u32).collect())))
         .collect();
 
     let results = run_spmd(n_ranks, |comm: &Communicator| {
         let rank = comm.rank();
-        let my_elems = &per_rank[rank];
-        let neighbors: Vec<(usize, Vec<u32>)> = plan.plans[rank]
-            .iter()
-            .map(|(q, nodes)| (*q as usize, nodes.clone()))
-            .collect();
+        let scope = &scopes[rank];
+        let neighbors: Vec<(usize, Vec<u32>)> =
+            plan.plans[rank].iter().map(|(q, nodes)| (*q as usize, nodes.clone())).collect();
         let ndof = 3 * mesh.n_nodes();
         let mut u_prev = vec![0.0; ndof];
         let mut u_now = vec![0.0; ndof];
         let mut u_next = vec![0.0; ndof];
         let f = vec![0.0; ndof];
+        let mut ws = solver.workspace();
         if let Some((u0, v0)) = initial {
             u_now.copy_from_slice(u0);
             for d in 0..ndof {
@@ -75,17 +77,9 @@ pub fn run_distributed(
             }
         }
         for _ in 0..n_steps {
-            solver.step_partial(
-                my_elems,
-                Some(&masks[rank]),
-                &u_prev,
-                &u_now,
-                &f,
-                &mut u_next,
-                |rhs| {
-                    comm.exchange_sum(&neighbors, rhs, 3);
-                },
-            );
+            solver.step_scoped(scope, &u_prev, &u_now, &f, &mut u_next, &mut ws, |rhs| {
+                comm.exchange_sum(&neighbors, rhs, 3);
+            });
             std::mem::swap(&mut u_prev, &mut u_now);
             std::mem::swap(&mut u_now, &mut u_next);
         }

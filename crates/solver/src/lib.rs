@@ -22,21 +22,30 @@
 //!   d'Alembert pulses and interface reflection/transmission coefficients,
 //! - [`distributed`]: the rank-parallel elastic solver over `quake-parcomm`
 //!   (owner-computes + interface sum-exchange), bit-identical to the serial
-//!   solver.
+//!   solver,
+//! - [`reference`]: the frozen pre-optimization elastic step — the
+//!   equivalence and `bench_step` baseline.
+//!
+//! The elastic hot path is organized around preallocated
+//! [`elastic::StepScope`]/[`elastic::StepWorkspace`] state so the steady
+//! state of a time loop performs no heap allocations; with the `parallel`
+//! feature the element sweep runs threaded over a node-disjoint coloring
+//! (bit-identical to serial).
 
 pub mod abc;
 pub mod analytic;
 pub mod distributed;
 pub mod elastic;
 pub mod receivers;
+pub mod reference;
 pub mod scalar3d;
 pub mod sources;
 pub mod tet;
 pub mod wave;
 
-pub use elastic::{ElasticConfig, ElasticSolver, RunResult};
+pub use elastic::{ElasticConfig, ElasticSolver, RunResult, StepScope, StepWorkspace};
+pub use receivers::{lowpass_filtfilt, Seismogram};
 pub use scalar3d::{Scalar3dConfig, Scalar3dSolver};
 pub use wave::ScalarWaveEq;
-pub use receivers::{lowpass_filtfilt, Seismogram};
 
 pub use sources::{assemble_point_sources, AssembledSource};

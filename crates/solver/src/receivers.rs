@@ -153,15 +153,9 @@ mod tests {
         // A symmetric pulse stays centered after filtering.
         let dt = 0.01;
         let n = 1001;
-        let x: Vec<f64> =
-            (0..n).map(|k| (-((k as f64 - 500.0) / 30.0).powi(2)).exp()).collect();
+        let x: Vec<f64> = (0..n).map(|k| (-((k as f64 - 500.0) / 30.0).powi(2)).exp()).collect();
         let y = lowpass_filtfilt(&x, dt, 2.0);
-        let peak_idx = y
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let peak_idx = y.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert!((peak_idx as i64 - 500).abs() <= 1, "peak moved to {peak_idx}");
     }
 

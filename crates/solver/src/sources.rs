@@ -72,7 +72,12 @@ pub fn assemble_point_sources(
 
 /// Nodal force version (point force at the nearest node), for tests and
 /// simple excitations.
-pub fn point_force(mesh: &HexMesh, position: [f64; 3], direction: [f64; 3], slip: SlipFunction) -> AssembledSource {
+pub fn point_force(
+    mesh: &HexMesh,
+    position: [f64; 3],
+    direction: [f64; 3],
+    slip: SlipFunction,
+) -> AssembledSource {
     let nd = mesh.nearest_node(position);
     let weights = (0..3)
         .filter(|&i| direction[i] != 0.0)

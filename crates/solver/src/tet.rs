@@ -84,11 +84,7 @@ impl<'m> TetSolver<'m> {
                             for cb in 0..3 {
                                 let val = ke[(3 * a + ca, 3 * b + cb)];
                                 if val != 0.0 {
-                                    triplets.push((
-                                        ga * 3 + ca as u32,
-                                        gb * 3 + cb as u32,
-                                        val,
-                                    ));
+                                    triplets.push((ga * 3 + ca as u32, gb * 3 + cb as u32, val));
                                 }
                             }
                         }
@@ -184,10 +180,8 @@ impl<'m> TetSolver<'m> {
         let mut u_now = vec![0.0; ndof];
         let mut u_next = vec![0.0; ndof];
         let mut f = vec![0.0; ndof];
-        let mut traces: Vec<crate::receivers::Seismogram> = receiver_nodes
-            .iter()
-            .map(|_| crate::receivers::Seismogram::new(self.dt, 3))
-            .collect();
+        let mut traces: Vec<crate::receivers::Seismogram> =
+            receiver_nodes.iter().map(|_| crate::receivers::Seismogram::new(self.dt, 3)).collect();
         for kstep in 0..n_steps {
             let t = kstep as f64 * self.dt;
             f.iter_mut().for_each(|v| *v = 0.0);
@@ -298,9 +292,6 @@ mod tests {
         let s = TetSolver::new(&m, 0.05, [false; 6]);
         let tet_bytes = s.k.memory_bytes();
         let hex_bytes = m.memory_estimate_bytes(3);
-        assert!(
-            tet_bytes > 3 * hex_bytes,
-            "tet {tet_bytes} vs hex {hex_bytes}"
-        );
+        assert!(tet_bytes > 3 * hex_bytes, "tet {tet_bytes} vs hex {hex_bytes}");
     }
 }

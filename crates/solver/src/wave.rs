@@ -73,8 +73,7 @@ pub fn forward(
     let dt2 = dt * dt;
     let mass = eq.mass();
     let cab = eq.abc_damping();
-    let lhs_inv: Vec<f64> =
-        (0..n).map(|i| 1.0 / (mass[i] + 0.5 * dt * cab[i])).collect();
+    let lhs_inv: Vec<f64> = (0..n).map(|i| 1.0 / (mass[i] + 0.5 * dt * cab[i])).collect();
 
     let mut u_prev = vec![0.0; n];
     let mut u_now = vec![0.0; n];
@@ -91,9 +90,8 @@ pub fn forward(
         forcing(k, &mut f);
         // rhs = B u_k + C u_{k-1} + dt^2 f_k
         for i in 0..n {
-            u_next[i] = 2.0 * mass[i] * u_now[i]
-                + (-mass[i] + 0.5 * dt * cab[i]) * u_prev[i]
-                + dt2 * f[i];
+            u_next[i] =
+                2.0 * mass[i] * u_now[i] + (-mass[i] + 0.5 * dt * cab[i]) * u_prev[i] + dt2 * f[i];
         }
         eq.apply_k(mu, &u_now, &mut u_next, -dt2);
         for i in 0..n {
@@ -130,8 +128,7 @@ pub fn adjoint(eq: &dyn ScalarWaveEq, mu: &[f64], residuals: &[Vec<f64>]) -> Wav
     }
     let mass = eq.mass();
     let cab = eq.abc_damping();
-    let lhs_inv: Vec<f64> =
-        (0..n).map(|i| 1.0 / (mass[i] + 0.5 * dt * cab[i])).collect();
+    let lhs_inv: Vec<f64> = (0..n).map(|i| 1.0 / (mass[i] + 0.5 * dt * cab[i])).collect();
 
     let mut l_pp = vec![0.0; n]; // lambda_{m+2}
     let mut l_p = vec![0.0; n]; // lambda_{m+1}
@@ -211,9 +208,8 @@ pub fn material_gradient_checkpointed(
         f.iter_mut().for_each(|v| *v = 0.0);
         forcing(k, f);
         for i in 0..n {
-            out[i] = 2.0 * mass[i] * u_now[i]
-                + (-mass[i] + 0.5 * dt * cab[i]) * u_prev[i]
-                + dt2 * f[i];
+            out[i] =
+                2.0 * mass[i] * u_now[i] + (-mass[i] + 0.5 * dt * cab[i]) * u_prev[i] + dt2 * f[i];
         }
         eq.apply_k(mu, u_now, out, -dt2);
         for i in 0..n {
@@ -222,8 +218,7 @@ pub fn material_gradient_checkpointed(
     };
 
     // Forward sweep: store (u_s, u_{s-1}) at every segment boundary.
-    let mut checkpoints: Vec<(usize, Vec<f64>, Vec<f64>)> =
-        vec![(0, vec![0.0; n], vec![0.0; n])];
+    let mut checkpoints: Vec<(usize, Vec<f64>, Vec<f64>)> = vec![(0, vec![0.0; n], vec![0.0; n])];
     {
         let mut u_prev = vec![0.0; n];
         let mut u_now = vec![0.0; n];
@@ -319,23 +314,38 @@ mod tests {
         let mu = vec![2e9; eq.n_elements()];
         let n = eq.n_nodes();
         let (a, b) = (n / 3, 2 * n / 3);
-        let run_ab = forward(&eq, &mu, &mut |k, f| {
-            if k == 0 {
-                f[a] = 1.0;
-            }
-        }, false);
-        let run_ba = forward(&eq, &mu, &mut |k, f| {
-            if k == 0 {
-                f[b] = 1.0;
-            }
-        }, true);
+        let run_ab = forward(
+            &eq,
+            &mu,
+            &mut |k, f| {
+                if k == 0 {
+                    f[a] = 1.0;
+                }
+            },
+            false,
+        );
+        let run_ba = forward(
+            &eq,
+            &mu,
+            &mut |k, f| {
+                if k == 0 {
+                    f[b] = 1.0;
+                }
+            },
+            true,
+        );
         let _ = run_ab;
         // Reciprocity: u^{(a)}(b, t) == u^{(b)}(a, t).
-        let ua = forward(&eq, &mu, &mut |k, f| {
-            if k == 0 {
-                f[a] = 1.0;
-            }
-        }, true);
+        let ua = forward(
+            &eq,
+            &mu,
+            &mut |k, f| {
+                if k == 0 {
+                    f[a] = 1.0;
+                }
+            },
+            true,
+        );
         for m in 0..=eq.n_steps() {
             let x = ua.states[m][b];
             let y = run_ba.states[m][a];
@@ -352,20 +362,24 @@ mod tests {
             .map(|e| 2e9 * (1.0 + 0.3 * ((e * 37 % 11) as f64 / 11.0)))
             .collect();
         let src = eq.n_nodes() / 2 + 3;
-        let fwd = forward(&eq, &mu, &mut |k, f| {
-            if k == 0 {
-                f[src] = 1.7;
-            }
-        }, false);
+        let fwd = forward(
+            &eq,
+            &mu,
+            &mut |k, f| {
+                if k == 0 {
+                    f[src] = 1.7;
+                }
+            },
+            false,
+        );
         // Random residual traces.
         let mut s = 42u64;
         let mut rnd = || {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
             (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
         };
-        let res: Vec<Vec<f64>> = (0..eq.receivers().len())
-            .map(|_| (0..eq.n_steps()).map(|_| rnd()).collect())
-            .collect();
+        let res: Vec<Vec<f64>> =
+            (0..eq.receivers().len()).map(|_| (0..eq.n_steps()).map(|_| rnd()).collect()).collect();
         // For the linear functional Jt = dt sum_m traces.res, the Lagrangian
         // gives dJt/df_0[src] = -dt^2 lambda_1[src]; with a source of
         // magnitude 1.7, <S f, r> = 1.7 * dJt/d(unit force).
@@ -385,8 +399,7 @@ mod tests {
     fn checkpointed_gradient_matches_full_storage() {
         let eq = small_solver();
         let ne = eq.n_elements();
-        let mu: Vec<f64> =
-            (0..ne).map(|e| 2e9 * (1.0 + 0.15 * ((e % 6) as f64 / 6.0))).collect();
+        let mu: Vec<f64> = (0..ne).map(|e| 2e9 * (1.0 + 0.15 * ((e % 6) as f64 / 6.0))).collect();
         let src = eq.n_nodes() / 2 + 1;
         let mut forcing = |k: usize, f: &mut [f64]| {
             if k < 7 {
@@ -398,18 +411,9 @@ mod tests {
         let adj = adjoint(&eq, &mu, &run.traces);
         let g_full = material_gradient(&eq, &run.states, &adj.states);
         for segment in [1usize, 3, 7, 16, 1000] {
-            let g_ck = material_gradient_checkpointed(
-                &eq,
-                &mu,
-                &mut forcing,
-                &run.traces,
-                segment,
-            );
+            let g_ck = material_gradient_checkpointed(&eq, &mu, &mut forcing, &run.traces, segment);
             for (a, b) in g_ck.iter().zip(&g_full) {
-                assert!(
-                    (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
-                    "segment {segment}: {a} vs {b}"
-                );
+                assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()), "segment {segment}: {a} vs {b}");
             }
         }
     }

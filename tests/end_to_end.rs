@@ -2,9 +2,12 @@
 //! through the public facade.
 
 use quake::antiplane::{FaultSource, ShConfig, ShSolver};
-use quake::inverse::{invert_multiscale, invert_source, GnConfig, MaterialMap, MultiscaleConfig, SourceInversionConfig};
+use quake::inverse::{
+    invert_multiscale, invert_source, GnConfig, MaterialMap, MultiscaleConfig,
+    SourceInversionConfig,
+};
 use quake::mesh::{mesh_from_model, MeshingParams};
-use quake::model::{layer_over_halfspace, HomogeneousModel, Material, MaterialModel};
+use quake::model::{layer_over_halfspace, HomogeneousModel, Material};
 use quake::solver::analytic::sh1d_reference;
 use quake::solver::wave::{forward, ScalarWaveEq};
 use quake::solver::{ElasticConfig, ElasticSolver};
@@ -136,10 +139,7 @@ fn multiscale_material_inversion_recovers_blob() {
     };
     let blob = at(9_600.0, 3_000.0);
     let far = at(2_000.0, 9_000.0);
-    assert!(
-        blob < 0.9 * far,
-        "blob not recovered: center {blob:.3e} vs far {far:.3e}"
-    );
+    assert!(blob < 0.9 * far, "blob not recovered: center {blob:.3e} vs far {far:.3e}");
 }
 
 /// End-to-end source inversion through the facade.
@@ -216,9 +216,6 @@ fn p_wave_arrival_respects_causality() {
     let peak = mag.iter().cloned().fold(0.0, f64::max);
     assert!(peak > 0.0);
     let arrival = mag.iter().position(|&v| v > 0.01 * peak).unwrap() as f64 * run.dt;
-    assert!(
-        arrival > 0.8 * 1.5,
-        "energy arrived impossibly early: {arrival} s (P time 1.5 s)"
-    );
+    assert!(arrival > 0.8 * 1.5, "energy arrived impossibly early: {arrival} s (P time 1.5 s)");
     assert!(arrival < 2.5, "P arrival far too late: {arrival} s");
 }
