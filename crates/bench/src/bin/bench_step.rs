@@ -1,4 +1,5 @@
-//! Step-kernel throughput benchmark: fused hot path vs the frozen reference.
+//! Step-kernel throughput benchmark: fused hot path vs the frozen reference,
+//! plus the telemetry-derived per-phase breakdown.
 //!
 //! Times the explicit elastic step on a fixed multiresolution mesh with
 //! Rayleigh damping and absorbing boundaries — the configuration where the
@@ -8,17 +9,30 @@
 //! - `baseline`: `quake_solver::reference::reference_step`, the frozen
 //!   pre-optimization step (row-wise matvec, two passes per damped element,
 //!   per-step allocations),
-//! - `fused`: `ElasticSolver::step_with` (blocked `elastic_matvec2`,
-//!   preallocated workspace, zero steady-state allocations). With
-//!   `--features parallel` the element sweep inside it runs threaded over
-//!   the node-disjoint coloring; the JSON records which variant ran.
+//! - `fused`: `ElasticSolver::step_with` with a plain (telemetry-disabled)
+//!   workspace (blocked `elastic_matvec2`, preallocated workspace, zero
+//!   steady-state allocations). With `--features parallel` the element sweep
+//!   inside it runs threaded over the node-disjoint coloring; the JSON
+//!   records which variant ran.
+//! - `instrumented`: the same fused step with a live `quake-telemetry`
+//!   registry, which must cost (nearly) nothing — pass
+//!   `--check-overhead <pct>` (CI uses 3) to fail the run if the slowdown
+//!   relative to `fused` exceeds that percentage.
 //!
-//! The full run writes `BENCH_step_throughput.json` at the repo root; pass
-//! `--smoke` (CI) to run a tiny mesh in milliseconds and print the JSON to
-//! stdout without touching the committed file.
+//! The instrumented run's span times, joined with `quake-machine`'s analytic
+//! flop/byte counts, yield the per-phase table printed at the end (wall time,
+//! share of the step, sustained rate, arithmetic intensity and roofline
+//! efficiency against the paper's LeMieux-like `MachineModel::default()`).
+//!
+//! Outputs: the full run writes `BENCH_step_throughput.json` and
+//! `BENCH_phase_breakdown.json` at the repo root; `--smoke` (CI) runs a tiny
+//! mesh in milliseconds and prints both JSONs to stdout instead. Both modes
+//! dump the instrumented registry's NDJSON trace to
+//! `target/BENCH_step_trace.ndjson`.
 
 use std::time::Instant;
 
+use quake_machine::{bytes, MachineModel};
 use quake_mesh::hexmesh::{ElemMaterial, HexMesh};
 use quake_octree::{BalanceMode, LinearOctree, MAX_LEVEL};
 use quake_solver::elastic::RayleighBand;
@@ -45,12 +59,14 @@ fn shear_pulse(mesh: &HexMesh) -> Vec<f64> {
     u
 }
 
-/// Best-of-`trials` throughput of `n_steps` leapfrog steps of `step`.
+/// Best-of-`trials` throughput of `n_steps` leapfrog steps of `step`;
+/// `before_trial` runs outside the timed region (e.g. a registry reset).
 fn time_stepper(
     mesh: &HexMesh,
     u0: &[f64],
     n_steps: usize,
     trials: usize,
+    mut before_trial: impl FnMut(),
     mut step: impl FnMut(&[f64], &[f64], &[f64], &mut [f64]),
 ) -> (f64, f64) {
     let ndof = 3 * mesh.n_nodes();
@@ -60,6 +76,7 @@ fn time_stepper(
         let mut up = u0.to_vec();
         let mut un = u0.to_vec();
         let mut next = vec![0.0; ndof];
+        before_trial();
         let t = Instant::now();
         for _ in 0..n_steps {
             step(&up, &un, &f, &mut next);
@@ -73,9 +90,30 @@ fn time_stepper(
     (steps_per_sec, steps_per_sec * mesh.n_elements() as f64)
 }
 
+struct PhaseRow {
+    name: &'static str,
+    secs: f64,
+    share: f64,
+    flops: u64,
+    bytes: u64,
+    intensity: f64,
+    flops_per_sec: f64,
+    roofline_efficiency: f64,
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let (coarse, n_steps, trials) = if smoke { (2, 4, 1) } else { (4, 20, 3) };
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check_overhead: Option<f64> = args
+        .iter()
+        .position(|a| a == "--check-overhead")
+        .map(|i| args[i + 1].parse().expect("--check-overhead takes a percentage"));
+    // The smoke mesh must be big enough that a step dwarfs the fixed span
+    // cost, or the overhead check would measure timer noise instead.
+    let (coarse, base_steps, trials) = if smoke { (3, 4, 1) } else { (4, 20, 3) };
+    // The fused/instrumented comparison needs more samples than the slow
+    // baseline to resolve a few-percent overhead above timer noise.
+    let (ov_steps, ov_trials) = if smoke { (30, 5) } else { (base_steps, trials) };
 
     let mesh = build_mesh(coarse);
     let mut cfg = ElasticConfig::new(1.0);
@@ -90,46 +128,196 @@ fn main() {
         mesh.n_nodes(),
         mesh.n_hanging(),
         solver.dt,
-        n_steps,
+        base_steps,
         trials
     );
 
-    let (base_sps, base_eups) = time_stepper(&mesh, &u0, n_steps, trials, |up, un, f, next| {
-        reference_step(&solver, up, un, f, next);
-    });
-    println!("baseline : {base_sps:>8.2} steps/s  {base_eups:>12.3e} element-updates/s");
+    let (base_sps, base_eups) = time_stepper(
+        &mesh,
+        &u0,
+        base_steps,
+        trials,
+        || {},
+        |up, un, f, next| {
+            reference_step(&solver, up, un, f, next);
+        },
+    );
+    println!("baseline     : {base_sps:>8.2} steps/s  {base_eups:>12.3e} element-updates/s");
 
     let mut ws = solver.workspace();
-    let (fused_sps, fused_eups) = time_stepper(&mesh, &u0, n_steps, trials, |up, un, f, next| {
-        solver.step_with(up, un, f, next, &mut ws);
-    });
-    println!("fused    : {fused_sps:>8.2} steps/s  {fused_eups:>12.3e} element-updates/s");
+    let (fused_sps, fused_eups) = time_stepper(
+        &mesh,
+        &u0,
+        ov_steps,
+        ov_trials,
+        || {},
+        |up, un, f, next| {
+            solver.step_with(up, un, f, next, &mut ws);
+        },
+    );
+    println!("fused        : {fused_sps:>8.2} steps/s  {fused_eups:>12.3e} element-updates/s");
+
+    // Same hot path with a live registry; reset per trial so the final trial's
+    // span statistics are exactly one `ov_steps`-step run.
+    let mut iws = solver.workspace_instrumented(0);
+    let (instr_sps, instr_eups) = {
+        let iws_cell = std::cell::RefCell::new(&mut iws);
+        time_stepper(
+            &mesh,
+            &u0,
+            ov_steps,
+            ov_trials,
+            || iws_cell.borrow().reg.reset(),
+            |up, un, f, next| solver.step_with(up, un, f, next, &mut iws_cell.borrow_mut()),
+        )
+    };
+    let overhead_pct = (fused_sps / instr_sps - 1.0) * 100.0;
+    println!(
+        "instrumented : {instr_sps:>8.2} steps/s  {instr_eups:>12.3e} element-updates/s  \
+         (telemetry overhead {overhead_pct:+.2}%)"
+    );
 
     let speedup = fused_eups / base_eups;
-    println!("speedup  : {speedup:.2}x element-updates/s (fused vs baseline)");
+    println!("speedup      : {speedup:.2}x element-updates/s (fused vs baseline)");
     let parallel = cfg!(feature = "parallel");
+
+    // ---- per-phase breakdown from the instrumented registry ----
+
+    let steps_recorded = {
+        let reg = &iws.reg;
+        let n = reg.span_stats("step").expect("step span").count;
+        solver.record_step_costs(solver.full_scope(), n, reg);
+        n
+    };
+    let reg = iws.into_registry();
+    let machine = MachineModel::default();
+    let step_secs = reg.span_stats("step").unwrap().total_secs();
+    let mut rows: Vec<PhaseRow> = Vec::new();
+    for name in ["fill", "elements", "abc", "fold", "exchange", "tail", "interp"] {
+        let s = reg
+            .span_stats(&format!("step/{name}"))
+            .unwrap_or_else(|| panic!("missing span step/{name}"));
+        assert_eq!(s.count, steps_recorded, "phase {name} must run once per step");
+        let flops = reg.counter(&format!("step/{name}/flops")).unwrap();
+        let bytes_moved = reg.counter(&format!("step/{name}/bytes")).unwrap();
+        let secs = s.total_secs();
+        let intensity =
+            if bytes_moved == 0 { 0.0 } else { bytes::arithmetic_intensity(flops, bytes_moved) };
+        let flops_per_sec = if secs > 0.0 { flops as f64 / secs } else { 0.0 };
+        let roofline_efficiency =
+            if flops == 0 { 0.0 } else { machine.roofline_efficiency(flops_per_sec, intensity) };
+        rows.push(PhaseRow {
+            name,
+            secs,
+            share: secs / step_secs,
+            flops,
+            bytes: bytes_moved,
+            intensity,
+            flops_per_sec,
+            roofline_efficiency,
+        });
+    }
+    let phase_sum: f64 = rows.iter().map(|r| r.secs).sum();
+
+    println!(
+        "\nper-phase breakdown ({steps_recorded} steps; roofline vs the paper's \
+         LeMieux-like default machine):"
+    );
+    println!(
+        "{:<10} {:>9} {:>7} {:>10} {:>10} {:>9}",
+        "phase", "ms", "share", "Gflop/s", "flop/byte", "roofline"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>9.3} {:>6.1}% {:>10.3} {:>10.3} {:>8.1}%",
+            r.name,
+            r.secs * 1e3,
+            r.share * 100.0,
+            r.flops_per_sec / 1e9,
+            r.intensity,
+            r.roofline_efficiency * 100.0
+        );
+    }
+    println!(
+        "{:<10} {:>9.3} {:>6.1}%   (step total {:.3} ms)",
+        "sum",
+        phase_sum * 1e3,
+        phase_sum / step_secs * 100.0,
+        step_secs * 1e3
+    );
+
+    let mut breakdown = String::new();
+    breakdown.push_str("{\n");
+    breakdown.push_str(&format!("  \"mesh_elements\": {},\n", mesh.n_elements()));
+    breakdown.push_str(&format!("  \"mesh_nodes\": {},\n", mesh.n_nodes()));
+    breakdown.push_str(&format!("  \"n_steps\": {steps_recorded},\n"));
+    breakdown.push_str(&format!("  \"step_total_secs\": {step_secs:.6},\n"));
+    breakdown.push_str(&format!("  \"phase_sum_secs\": {phase_sum:.6},\n"));
+    breakdown.push_str(&format!("  \"telemetry_overhead_pct\": {overhead_pct:.3},\n"));
+    breakdown.push_str(&format!("  \"parallel_sweep\": {parallel},\n"));
+    breakdown.push_str("  \"phases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        breakdown.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"secs\": {:.6}, \"share\": {:.4}, \"flops\": {}, \
+             \"bytes\": {}, \"intensity\": {:.4}, \"flops_per_sec\": {:.1}, \
+             \"roofline_efficiency\": {:.4} }}{}\n",
+            r.name,
+            r.secs,
+            r.share,
+            r.flops,
+            r.bytes,
+            r.intensity,
+            r.flops_per_sec,
+            r.roofline_efficiency,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    breakdown.push_str("  ]\n}\n");
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"mesh_elements\": {},\n", mesh.n_elements()));
     json.push_str(&format!("  \"mesh_nodes\": {},\n", mesh.n_nodes()));
     json.push_str(&format!("  \"hanging_nodes\": {},\n", mesh.n_hanging()));
-    json.push_str(&format!("  \"n_steps\": {n_steps},\n  \"trials\": {trials},\n"));
+    json.push_str(&format!("  \"n_steps\": {base_steps},\n  \"trials\": {trials},\n"));
     json.push_str(&format!(
         "  \"baseline\": {{ \"steps_per_sec\": {base_sps:.3}, \"element_updates_per_sec\": {base_eups:.1} }},\n"
     ));
     json.push_str(&format!(
         "  \"fused\": {{ \"steps_per_sec\": {fused_sps:.3}, \"element_updates_per_sec\": {fused_eups:.1}, \"parallel_sweep\": {parallel} }},\n"
     ));
+    json.push_str(&format!(
+        "  \"instrumented\": {{ \"steps_per_sec\": {instr_sps:.3}, \"telemetry_overhead_pct\": {overhead_pct:.3} }},\n"
+    ));
     json.push_str(&format!("  \"speedup_fused_vs_baseline\": {speedup:.3}\n}}\n"));
 
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let trace_path = format!("{root}/target/BENCH_step_trace.ndjson");
+    let _ = std::fs::create_dir_all(format!("{root}/target"));
+    std::fs::write(&trace_path, reg.ndjson()).expect("write NDJSON trace");
+    println!("\nwrote {trace_path}");
     if smoke {
         println!("\n{json}");
-        println!("smoke mode: JSON not written");
+        println!("{breakdown}");
+        println!("smoke mode: committed JSONs not written");
     } else {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_step_throughput.json");
-        std::fs::write(path, &json).expect("write BENCH_step_throughput.json");
-        println!("\nwrote {path}");
+        let tp = format!("{root}/BENCH_step_throughput.json");
+        let bp = format!("{root}/BENCH_phase_breakdown.json");
+        std::fs::write(&tp, &json).expect("write BENCH_step_throughput.json");
+        std::fs::write(&bp, &breakdown).expect("write BENCH_phase_breakdown.json");
+        println!("wrote {tp}\nwrote {bp}");
+    }
+
+    assert!(
+        phase_sum >= 0.95 * step_secs,
+        "phase spans cover only {:.1}% of the step span — untracked time in the hot path",
+        phase_sum / step_secs * 100.0
+    );
+    if let Some(limit) = check_overhead {
+        assert!(
+            overhead_pct <= limit,
+            "telemetry overhead {overhead_pct:.2}% exceeds the {limit}% budget"
+        );
     }
     assert!(
         speedup >= if smoke { 0.5 } else { 1.3 },

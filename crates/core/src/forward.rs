@@ -4,6 +4,7 @@ use quake_mesh::{mesh_from_model, HexMesh, MeshStats, MeshingParams};
 use quake_model::{ExtendedFault, LaBasinModel, MaterialModel};
 use quake_octree::LinearOctree;
 use quake_solver::{assemble_point_sources, ElasticConfig, ElasticSolver, RunResult};
+use quake_telemetry::Registry;
 
 /// A complete forward-simulation scenario.
 #[derive(Clone, Debug)]
@@ -28,17 +29,48 @@ pub struct ForwardOutcome {
 
 /// Run a scenario against a material model.
 pub fn run_forward(model: &impl MaterialModel, scenario: &ForwardScenario) -> ForwardOutcome {
-    let (tree, mesh) = mesh_from_model(&scenario.meshing, model);
+    run_forward_traced(model, scenario, &Registry::disabled())
+}
+
+/// [`run_forward`] with telemetry: the meshing and assembly stages get
+/// spans, the mesh statistics land in the registry as `mesh/...` metrics,
+/// and the solve runs with an instrumented workspace, so `reg` afterwards
+/// holds the full per-phase breakdown of the run. Pass a disabled registry
+/// to make this exactly [`run_forward`].
+pub fn run_forward_traced(
+    model: &impl MaterialModel,
+    scenario: &ForwardScenario,
+    reg: &Registry,
+) -> ForwardOutcome {
+    let (tree, mesh) = {
+        let _s = reg.span("forward/mesh");
+        mesh_from_model(&scenario.meshing, model)
+    };
     let mesh_stats = MeshStats::compute(&mesh);
-    let solver = ElasticSolver::new(&mesh, &scenario.solve);
-    let sources = assemble_point_sources(
-        &mesh,
-        &tree,
-        &scenario.fault.discretize(scenario.n_subfaults.0, scenario.n_subfaults.1),
-    );
+    mesh_stats.record(reg);
+    let (solver, sources) = {
+        let _s = reg.span("forward/assemble");
+        let solver = ElasticSolver::new(&mesh, &scenario.solve);
+        let sources = assemble_point_sources(
+            &mesh,
+            &tree,
+            &scenario.fault.discretize(scenario.n_subfaults.0, scenario.n_subfaults.1),
+        );
+        (solver, sources)
+    };
     let receiver_nodes: Vec<u32> =
         scenario.receivers.iter().map(|&p| mesh.nearest_node(p)).collect();
-    let result = solver.run(&sources, &receiver_nodes, None);
+    let result = {
+        let _s = reg.span("forward/solve");
+        let mut ws = if reg.is_enabled() {
+            solver.workspace_instrumented(reg.rank())
+        } else {
+            solver.workspace()
+        };
+        let result = solver.run_with(&sources, &receiver_nodes, None, &mut ws);
+        reg.absorb(&ws.into_registry());
+        result
+    };
     ForwardOutcome { tree, mesh, mesh_stats, receiver_nodes, result }
 }
 
@@ -95,5 +127,30 @@ mod tests {
         for &nd in &out.receiver_nodes {
             assert_eq!(out.mesh.grid_coords[nd as usize][2], 0);
         }
+    }
+
+    #[test]
+    fn traced_forward_run_populates_the_registry() {
+        let (model, mut scenario) = northridge_scenario(8_000.0, 0.4, 400.0, 2.0, 2);
+        scenario.meshing.min_level = 2;
+        scenario.meshing.max_level = 5;
+        let reg = Registry::new(0);
+        let out = run_forward_traced(&model, &scenario, &reg);
+        // Driver-stage spans are present and ran exactly once.
+        for name in ["forward/mesh", "forward/assemble", "forward/solve"] {
+            let s = reg.span_stats(name).unwrap_or_else(|| panic!("missing span {name}"));
+            assert_eq!(s.count, 1, "{name}");
+        }
+        // Mesh statistics were recorded as metrics.
+        assert_eq!(reg.counter("mesh/elements"), Some(out.mesh_stats.n_elements as u64));
+        assert!(reg.gauge_value("mesh/h_min").is_some());
+        // The solver workspace's per-phase breakdown was absorbed: one `step`
+        // span per time step, plus the analytic cost counters.
+        let step = reg.span_stats("step").expect("absorbed step span");
+        assert_eq!(step.count, out.result.n_steps as u64);
+        assert!(reg.counter("step/elements/flops").unwrap() > 0);
+        // Step time is contained in the solve stage that absorbed it.
+        let solve = reg.span_stats("forward/solve").unwrap();
+        assert!(step.total_ns <= solve.total_ns);
     }
 }

@@ -409,11 +409,10 @@ mod tests {
         let mut keys: Vec<u64> = (0..n).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
         keys.sort_unstable();
         keys.dedup();
-        for (i, &k) in keys.iter().enumerate() {
+        for i in 0..keys.len() {
             // Insert in a scrambled order.
             let k = keys[(i * 7919) % keys.len()];
-            let _ = k;
-            t.insert(keys[(i * 7919) % keys.len()], &val(keys[(i * 7919) % keys.len()])).unwrap();
+            t.insert(k, &val(k)).unwrap();
         }
         assert_eq!(t.len(), keys.len() as u64);
         for &k in keys.iter().step_by(97) {

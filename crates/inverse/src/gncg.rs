@@ -19,6 +19,7 @@ use crate::matmap::MaterialMap;
 use crate::misfit::{misfit_value, residuals};
 use crate::regularization::TvReg;
 use quake_solver::wave::{adjoint, forward, material_gradient, ScalarWaveEq};
+use quake_telemetry::Registry;
 use std::collections::VecDeque;
 
 /// Gauss-Newton configuration.
@@ -238,6 +239,25 @@ pub fn invert_material(
     m0: &[f64],
     cfg: &GnConfig,
 ) -> (Vec<f64>, GnStats) {
+    invert_material_traced(eq, forcing, data, map, tv, m0, cfg, &Registry::disabled())
+}
+
+/// [`invert_material`] with telemetry: spans around the forward, adjoint,
+/// CG, and line-search stages of every Gauss-Newton iteration, plus one
+/// `gn_iter` NDJSON event per outer iteration carrying the convergence
+/// quantities of the paper's Fig 3.2/3.3 (misfit, objective, gradient norm,
+/// TV and barrier terms, CG iterations, accepted step). A disabled registry
+/// makes this exactly [`invert_material`].
+pub fn invert_material_traced(
+    eq: &dyn ScalarWaveEq,
+    forcing: &(dyn Fn(usize, &mut [f64]) + Sync),
+    data: &[Vec<f64>],
+    map: &MaterialMap,
+    tv: &TvReg,
+    m0: &[f64],
+    cfg: &GnConfig,
+    reg: &Registry,
+) -> (Vec<f64>, GnStats) {
     assert_eq!(m0.len(), map.n_param());
     let mut m = m0.to_vec();
     let mut stats = GnStats::default();
@@ -266,14 +286,22 @@ pub fn invert_material(
     };
 
     let mut g0_norm = None;
-    for _ in 0..cfg.max_gn_iters {
+    for it in 0..cfg.max_gn_iters {
         // Forward + adjoint: objective and gradient.
         let mu = map.interpolate(&m);
-        let run = forward(eq, &mu, &mut |k, f| forcing(k, f), true);
+        let run = {
+            let _s = reg.span("gn/forward");
+            forward(eq, &mu, &mut |k, f| forcing(k, f), true)
+        };
         let jd = misfit_value(&run.traces, data, eq.dt());
-        let jtot = jd + tv.value(&m) + barrier_value(&m, barrier);
+        let tv_val = tv.value(&m);
+        let bar_val = barrier_value(&m, barrier);
+        let jtot = jd + tv_val + bar_val;
         let res = residuals(&run.traces, data);
-        let adj = adjoint(eq, &mu, &res);
+        let adj = {
+            let _s = reg.span("gn/adjoint");
+            adjoint(eq, &mu, &res)
+        };
         let ge = material_gradient(eq, &run.states, &adj.states);
         let mut g = map.transpose_apply(&ge);
         tv.gradient(&m, &mut g);
@@ -286,6 +314,21 @@ pub fn invert_material(
         let g0 = *g0_norm.get_or_insert(g_norm);
         if g_norm <= cfg.grad_tol * g0.max(1e-300) || jd <= cfg.misfit_tol {
             stats.converged = true;
+            reg.event(
+                "gn_iter",
+                &[
+                    ("iter", it as f64),
+                    ("misfit", jd),
+                    ("objective", jtot),
+                    ("grad_norm", g_norm),
+                    ("tv", tv_val),
+                    ("barrier", bar_val),
+                    ("cg_iters", 0.0),
+                    ("alpha", 0.0),
+                    ("dir", -1.0),
+                    ("converged", 1.0),
+                ],
+            );
             break;
         }
         stats.gn_iters += 1;
@@ -308,8 +351,10 @@ pub fn invert_material(
         };
         let minus_g: Vec<f64> = g.iter().map(|v| -v).collect();
         let mut precond_next = Lbfgs::new(cfg.lbfgs_memory);
-        let (dm, cg_iters) =
-            pcg(&mut hess, &minus_g, cfg.cg_tol, cfg.max_cg_iters, &precond, &mut precond_next);
+        let (dm, cg_iters) = {
+            let _s = reg.span("gn/cg");
+            pcg(&mut hess, &minus_g, cfg.cg_tol, cfg.max_cg_iters, &precond, &mut precond_next)
+        };
         if !precond_next.is_empty() {
             precond = precond_next;
         }
@@ -320,24 +365,46 @@ pub fn invert_material(
         // steepest descent if that fails (nonsmooth kinks of the slip ramp
         // or a poor GN model can spoil the CG direction).
         let mut accepted = false;
-        'directions: for dir in [&dm, &minus_g] {
-            let slope = dot(&g, dir);
-            if slope >= 0.0 {
-                continue;
-            }
-            let mut alpha = 1.0;
-            for _ in 0..cfg.max_linesearch {
-                let trial: Vec<f64> =
-                    m.iter().zip(dir.iter()).map(|(a, b)| a + alpha * b).collect();
-                let jt = objective(&trial);
-                if jt <= jtot + cfg.armijo_c1 * alpha * slope {
-                    m = trial;
-                    accepted = true;
-                    break 'directions;
+        let mut step_alpha = 0.0;
+        let mut step_dir = -1.0; // 0 = Gauss-Newton, 1 = steepest descent
+        {
+            let _s = reg.span("gn/linesearch");
+            'directions: for (di, dir) in [&dm, &minus_g].into_iter().enumerate() {
+                let slope = dot(&g, dir);
+                if slope >= 0.0 {
+                    continue;
                 }
-                alpha *= 0.5;
+                let mut alpha = 1.0;
+                for _ in 0..cfg.max_linesearch {
+                    let trial: Vec<f64> =
+                        m.iter().zip(dir.iter()).map(|(a, b)| a + alpha * b).collect();
+                    let jt = objective(&trial);
+                    if jt <= jtot + cfg.armijo_c1 * alpha * slope {
+                        m = trial;
+                        accepted = true;
+                        step_alpha = alpha;
+                        step_dir = di as f64;
+                        break 'directions;
+                    }
+                    alpha *= 0.5;
+                }
             }
         }
+        reg.event(
+            "gn_iter",
+            &[
+                ("iter", it as f64),
+                ("misfit", jd),
+                ("objective", jtot),
+                ("grad_norm", g_norm),
+                ("tv", tv_val),
+                ("barrier", bar_val),
+                ("cg_iters", cg_iters as f64),
+                ("alpha", step_alpha),
+                ("dir", step_dir),
+                ("converged", 0.0),
+            ],
+        );
         if !accepted {
             // Stuck: can't descend along any available direction.
             break;
@@ -491,6 +558,44 @@ mod tests {
             let rel = (m[i] - m_true[i]).abs() / m_true[i];
             assert!(rel < 0.05, "vertex {i}: {} vs {} ({rel})", m[i], m_true[i]);
         }
+    }
+
+    #[test]
+    fn traced_inversion_emits_one_event_per_gn_iteration() {
+        let s = solver();
+        let dims = [4, 3, 1];
+        let map = MaterialMap::new(&centers(&s), [6000.0, 4000.0, 1.0], dims);
+        let base = 2200.0 * 2000.0f64.powi(2);
+        let mut m_true = vec![base; map.n_param()];
+        m_true[5] = base * 1.2;
+        let forcing = forcing_fn(40);
+        let data = forward(&s, &map.interpolate(&m_true), &mut |k, f| forcing(k, f), false).traces;
+        let tv =
+            TvReg { dims, spacing: [2000.0, 2000.0, 1.0], eps: 0.01 * base / 2000.0, beta: 1e-26 };
+        let m0 = vec![base; map.n_param()];
+        let cfg = GnConfig { max_gn_iters: 3, ..GnConfig::default() };
+
+        let reg = Registry::new(0);
+        let (m_traced, stats) =
+            invert_material_traced(&s, &forcing, &data, &map, &tv, &m0, &cfg, &reg);
+
+        // One gn_iter event per objective evaluation (including a converged
+        // final pass, if any), each a parseable NDJSON line.
+        assert_eq!(reg.n_events(), stats.objective_history.len());
+        let nd = reg.ndjson();
+        assert!(nd.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(nd.contains("\"event\":\"gn_iter\""));
+        assert!(nd.contains("\"misfit\":"));
+        assert!(nd.contains("\"cg_iters\":"));
+        // The staged spans were timed as often as the stages ran.
+        let fwd = reg.span_stats("gn/forward").unwrap();
+        assert_eq!(fwd.count as usize, stats.objective_history.len());
+        assert_eq!(reg.span_stats("gn/cg").unwrap().count as usize, stats.gn_iters);
+        assert!(reg.span_stats("gn/linesearch").unwrap().total_secs() >= 0.0);
+
+        // Tracing must not perturb the optimization.
+        let (m_plain, _) = invert_material(&s, &forcing, &data, &map, &tv, &m0, &cfg);
+        assert_eq!(m_traced, m_plain);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod multiscale;
 pub mod regularization;
 pub mod source;
 
-pub use gncg::{invert_material, GnConfig, GnStats};
+pub use gncg::{invert_material, invert_material_traced, GnConfig, GnStats};
 pub use matmap::MaterialMap;
 pub use misfit::{add_noise, misfit_value, residuals};
 pub use multiscale::{invert_multiscale, LevelResult, MultiscaleConfig};

@@ -30,6 +30,16 @@ pub mod flops {
     /// the eq. (2.4) diagonal solve plus the two history combinations.
     pub const ELASTIC_NODE_UPDATE: u64 = 3 * 12;
 
+    /// The initial-fill share of [`ELASTIC_NODE_UPDATE`]: damping increment
+    /// `w = u_k - u_{k-1}`, source scaling and the owner's diagonal damping
+    /// term (per node, 3 components).
+    pub const ELASTIC_NODE_FILL: u64 = 3 * 5;
+
+    /// The fused-tail share of [`ELASTIC_NODE_UPDATE`]: history combination
+    /// and diagonal solve (per node, 3 components). Fill + tail = the whole
+    /// node update.
+    pub const ELASTIC_NODE_TAIL: u64 = 3 * 7;
+
     /// Per-node update flops for a scalar field.
     pub const SCALAR_NODE_UPDATE: u64 = 12;
 
@@ -96,9 +106,108 @@ pub mod bytes {
                 + n_nodes * ELASTIC_NODE_UPDATE)
     }
 
+    /// Bytes moved per node by the fused initial fill alone: reads `u_now,
+    /// u_prev, f_ext, damp_diag`, writes `w, rhs` — 6 f64 streams per dof.
+    pub const ELASTIC_NODE_FILL: u64 = 3 * 6 * F64;
+
+    /// Bytes moved per node by the fused tail alone: reads `rhs, u_now,
+    /// u_prev, mass_f, cdiag_f, lhs_inv`, rewrites `rhs` — 7 f64 streams per
+    /// dof. Fill + tail = [`ELASTIC_NODE_UPDATE`].
+    pub const ELASTIC_NODE_TAIL: u64 = 3 * 7 * F64;
+
+    /// Bytes moved per Stacey boundary face: gather 4 nodes x 3 comps of
+    /// `u_now`, read-modify-write the same 12 rhs entries, face constants
+    /// and node ids.
+    pub const ABC_FACE: u64 = (12 + 2 * 12 + 6) * F64 + 4 * 4;
+
+    /// Bytes moved per hanging node by one constraint pass (fold or
+    /// interpolate): the slave's 3 dofs plus read-modify-write of up to 4
+    /// masters' dofs.
+    pub const HANGING_NODE_PASS: u64 = 3 * (1 + 2 * 4) * F64;
+
     /// Arithmetic intensity (flop/byte).
     pub fn arithmetic_intensity(flops: u64, bytes: u64) -> f64 {
         flops as f64 / bytes as f64
+    }
+}
+
+/// Per-phase analytic cost model of one explicit elastic step — the
+/// denominators of the paper-style per-phase breakdown (Section 4's tables
+/// report exactly this: where the step's time, flops and traffic go).
+///
+/// Phase names match the solver's telemetry spans (`step/<phase>`), so a
+/// measured wall-time breakdown can be joined with these counts to get
+/// sustained flop rates and roofline efficiencies per phase.
+pub mod phases {
+    use super::{bytes, flops};
+
+    /// Analytic flop/byte cost of one phase of one step.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct PhaseCost {
+        /// Telemetry span suffix (`step/<name>`).
+        pub name: &'static str,
+        pub flops: u64,
+        pub bytes: u64,
+    }
+
+    /// Shape of one rank's share of an elastic step.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct ElasticStepShape {
+        /// Elements with a nonzero Rayleigh beta (take the fused two-vector
+        /// gather).
+        pub n_damped: u64,
+        pub n_undamped: u64,
+        /// Nodes of the *full* mesh: the fill/tail passes are replicated
+        /// over all dofs on every rank.
+        pub n_nodes: u64,
+        pub n_hanging: u64,
+        /// Absorbing faces assembled by this rank.
+        pub n_abc_faces: u64,
+        /// Interface values (f64 count) exchanged per step; zero for a
+        /// serial run.
+        pub exchange_doubles: u64,
+    }
+
+    /// Per-step costs of each phase of the fused elastic step, in execution
+    /// order. Constraint passes (`fold`, `interp`) and the exchange move
+    /// data but perform (next to) no flops; the exchange's byte count is the
+    /// wire traffic, not a memory-hierarchy estimate.
+    pub fn elastic_step_phases(shape: &ElasticStepShape) -> Vec<PhaseCost> {
+        let hanging_flops = shape.n_hanging * 3 * 8; // 4 mul + 4 add per dof
+        vec![
+            PhaseCost {
+                name: "fill",
+                flops: shape.n_nodes * flops::ELASTIC_NODE_FILL,
+                bytes: shape.n_nodes * bytes::ELASTIC_NODE_FILL,
+            },
+            PhaseCost {
+                name: "elements",
+                flops: (shape.n_damped + shape.n_undamped) * flops::ELASTIC_HEX_ELEMENT,
+                bytes: shape.n_damped * bytes::elastic_element(true, true)
+                    + shape.n_undamped * bytes::elastic_element(false, true),
+            },
+            PhaseCost {
+                name: "abc",
+                flops: shape.n_abc_faces * flops::ABC_FACE,
+                bytes: shape.n_abc_faces * bytes::ABC_FACE,
+            },
+            PhaseCost {
+                name: "fold",
+                flops: hanging_flops,
+                bytes: shape.n_hanging * bytes::HANGING_NODE_PASS,
+            },
+            PhaseCost { name: "exchange", flops: 0, bytes: shape.exchange_doubles * 8 },
+            PhaseCost {
+                name: "tail",
+                flops: shape.n_nodes * flops::ELASTIC_NODE_TAIL,
+                bytes: shape.n_nodes * bytes::ELASTIC_NODE_TAIL,
+            },
+            PhaseCost {
+                name: "interp",
+                flops: hanging_flops,
+                bytes: shape.n_hanging * bytes::HANGING_NODE_PASS,
+            },
+        ]
     }
 }
 
@@ -286,11 +395,38 @@ mod tests {
     }
 
     #[test]
+    fn phase_costs_are_consistent_with_the_aggregate_models() {
+        // Fill + tail constants partition the node update exactly.
+        assert_eq!(flops::ELASTIC_NODE_FILL + flops::ELASTIC_NODE_TAIL, flops::ELASTIC_NODE_UPDATE);
+        assert_eq!(bytes::ELASTIC_NODE_FILL + bytes::ELASTIC_NODE_TAIL, bytes::ELASTIC_NODE_UPDATE);
+        // On a mesh without hanging nodes or exchange, the per-phase flops
+        // sum to the aggregate elastic_total for one step.
+        let shape = phases::ElasticStepShape {
+            n_damped: 700,
+            n_undamped: 300,
+            n_nodes: 1331,
+            n_abc_faces: 240,
+            ..Default::default()
+        };
+        let total: u64 = phases::elastic_step_phases(&shape).iter().map(|p| p.flops).sum();
+        assert_eq!(total, flops::elastic_total(1000, 1331, 240, 1));
+        // And the fill/elements/tail bytes match the fused bytes model
+        // (which ignores ABC faces as a surface term).
+        let by_name = |costs: &[phases::PhaseCost], n: &str| {
+            costs.iter().find(|p| p.name == n).unwrap().bytes
+        };
+        let costs = phases::elastic_step_phases(&shape);
+        let core = by_name(&costs, "fill") + by_name(&costs, "elements") + by_name(&costs, "tail");
+        assert_eq!(core, bytes::elastic_total(700, 300, 1331, 1, true));
+    }
+
+    #[test]
     fn flop_counts_scale_linearly() {
         let a = flops::elastic_total(100, 120, 10, 50);
         let b = flops::elastic_total(200, 240, 20, 50);
         assert_eq!(2 * a, b);
-        assert!(flops::ELASTIC_HEX_ELEMENT > flops::SCALAR_HEX_ELEMENT);
+        let (elastic, scalar) = (flops::ELASTIC_HEX_ELEMENT, flops::SCALAR_HEX_ELEMENT);
+        assert!(elastic > scalar);
     }
 
     #[test]
@@ -309,7 +445,7 @@ mod tests {
     #[test]
     fn fusion_raises_arithmetic_intensity() {
         // Same flops, fewer bytes -> higher flop/byte for the damped element.
-        let f = 2 * flops::ELASTIC_HEX_ELEMENT as u64;
+        let f = 2 * flops::ELASTIC_HEX_ELEMENT;
         let i_two = bytes::arithmetic_intensity(f, bytes::elastic_element(true, false));
         let i_fused = bytes::arithmetic_intensity(f, bytes::elastic_element(true, true));
         assert!(i_fused > 1.5 * i_two, "{i_fused} vs {i_two}");

@@ -1,6 +1,8 @@
 //! Mesh summaries (the numbers behind Fig 2.3 and the etree table).
 
 use crate::hexmesh::HexMesh;
+use quake_octree::level_histogram_of;
+use quake_telemetry::Registry;
 
 /// Aggregate statistics of a hexahedral mesh.
 #[derive(Clone, Debug)]
@@ -21,14 +23,10 @@ pub struct MeshStats {
 
 impl MeshStats {
     pub fn compute(mesh: &HexMesh) -> MeshStats {
-        let mut level_histogram = Vec::new();
+        let level_histogram = level_histogram_of(mesh.elements.iter().map(|e| e.level));
         let (mut h_min, mut h_max) = (f64::INFINITY, 0.0f64);
         let (mut vs_min, mut vs_max) = (f64::INFINITY, 0.0f64);
         for e in &mesh.elements {
-            if level_histogram.len() <= e.level as usize {
-                level_histogram.resize(e.level as usize + 1, 0);
-            }
-            level_histogram[e.level as usize] += 1;
             h_min = h_min.min(e.h);
             h_max = h_max.max(e.h);
             let vs = e.material.vs();
@@ -47,6 +45,33 @@ impl MeshStats {
             vs_max,
             memory_bytes: mesh.memory_estimate_bytes(3),
         }
+    }
+
+    /// Export the statistics into a telemetry registry: `mesh/...` counters
+    /// for the integer sizes (including one `mesh/level<L>/elements` counter
+    /// per populated octree level) and gauges for the continuous ranges.
+    pub fn record(&self, reg: &Registry) {
+        if !reg.is_enabled() {
+            return;
+        }
+        for (k, v) in [
+            ("mesh/elements", self.n_elements),
+            ("mesh/nodes", self.n_nodes),
+            ("mesh/hanging", self.n_hanging),
+            ("mesh/memory_bytes", self.memory_bytes),
+        ] {
+            reg.set(k, v as u64);
+        }
+        for (level, &n) in self.level_histogram.iter().enumerate() {
+            if n > 0 {
+                reg.set(&format!("mesh/level{level}/elements"), n as u64);
+            }
+        }
+        reg.gauge("mesh/hanging_fraction", self.hanging_fraction);
+        reg.gauge("mesh/h_min", self.h_min);
+        reg.gauge("mesh/h_max", self.h_max);
+        reg.gauge("mesh/vs_min", self.vs_min);
+        reg.gauge("mesh/vs_max", self.vs_max);
     }
 
     /// Multi-line human-readable report.
@@ -97,5 +122,35 @@ mod tests {
         assert_eq!(s.h_min, s.h_max);
         assert!((s.vs_min - (1e9f64 / 2000.0).sqrt()).abs() < 1e-9);
         assert!(s.report().contains("level  2: 64 elements"));
+    }
+
+    #[test]
+    fn stats_and_octree_share_one_histogram() {
+        // The mesh's per-level counts must be the octree's (identity mesh:
+        // one element per leaf), now that both go through the same routine.
+        let tree = LinearOctree::uniform(2);
+        let m = HexMesh::from_octree(&tree, 100.0, |_, _, _, _| ElemMaterial {
+            lambda: 2e9,
+            mu: 1e9,
+            rho: 2000.0,
+        });
+        assert_eq!(MeshStats::compute(&m).level_histogram, tree.level_histogram());
+    }
+
+    #[test]
+    fn stats_record_into_registry() {
+        let m = HexMesh::from_octree(&LinearOctree::uniform(2), 100.0, |_, _, _, _| ElemMaterial {
+            lambda: 2e9,
+            mu: 1e9,
+            rho: 2000.0,
+        });
+        let s = MeshStats::compute(&m);
+        let reg = quake_telemetry::Registry::new(0);
+        s.record(&reg);
+        assert_eq!(reg.counter("mesh/elements"), Some(64));
+        assert_eq!(reg.counter("mesh/nodes"), Some(125));
+        assert_eq!(reg.counter("mesh/level2/elements"), Some(64));
+        assert_eq!(reg.counter("mesh/level1/elements"), None, "empty levels stay unrecorded");
+        assert_eq!(reg.gauge_value("mesh/h_min"), Some(25.0));
     }
 }

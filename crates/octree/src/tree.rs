@@ -97,11 +97,7 @@ impl LinearOctree {
 
     /// Leaf counts per level, indexed by level.
     pub fn level_histogram(&self) -> Vec<usize> {
-        let mut h = vec![0usize; self.max_level() as usize + 1];
-        for o in &self.leaves {
-            h[o.level as usize] += 1;
-        }
-        h
+        level_histogram_of(self.leaves.iter().map(|o| o.level))
     }
 
     /// Index of the leaf containing the grid point, by binary search on keys.
@@ -168,6 +164,21 @@ impl LinearOctree {
         }
         vol == (GRID as u128).pow(3)
     }
+}
+
+/// Counts per level (index = level) of a level sequence — the single
+/// histogram routine behind [`LinearOctree::level_histogram`] and the mesh
+/// statistics in `quake-mesh` (`MeshStats`). Empty input yields an empty
+/// histogram; otherwise the result has `max(level) + 1` entries.
+pub fn level_histogram_of(levels: impl IntoIterator<Item = u8>) -> Vec<usize> {
+    let mut h = Vec::new();
+    for level in levels {
+        if h.len() <= level as usize {
+            h.resize(level as usize + 1, 0);
+        }
+        h[level as usize] += 1;
+    }
+    h
 }
 
 /// Sample grid point just outside `o` in direction `d` (None if outside the

@@ -90,6 +90,38 @@ impl Communicator {
         }
     }
 
+    /// Elementwise global max of `x` across ranks (gather at 0, broadcast).
+    pub fn allreduce_max_elems(&self, x: &mut [f64]) {
+        self.allreduce_elems(x, f64::max, 0xC33)
+    }
+
+    /// Elementwise global min of `x` across ranks (gather at 0, broadcast).
+    pub fn allreduce_min_elems(&self, x: &mut [f64]) {
+        self.allreduce_elems(x, f64::min, 0xC44)
+    }
+
+    fn allreduce_elems(&self, x: &mut [f64], op: impl Fn(f64, f64) -> f64, tag: u64) {
+        if self.size == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            for r in 1..self.size {
+                let part = self.recv(r, tag);
+                assert_eq!(part.len(), x.len());
+                for (a, b) in x.iter_mut().zip(&part) {
+                    *a = op(*a, *b);
+                }
+            }
+            for r in 1..self.size {
+                self.send(r, tag + 1, x.to_vec());
+            }
+        } else {
+            self.send(0, tag, x.to_vec());
+            let total = self.recv(0, tag + 1);
+            x.copy_from_slice(&total);
+        }
+    }
+
     /// Global max reduction of a scalar.
     pub fn allreduce_max(&self, v: f64) -> f64 {
         const TAG: u64 = 0xB22;
@@ -206,6 +238,22 @@ mod tests {
         });
         for r in &results {
             assert_eq!(r, &vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max_elems_are_elementwise_and_consistent() {
+        let results = run_spmd(4, |c| {
+            let r = c.rank() as f64;
+            let mut mx = vec![r, -r, 10.0];
+            let mut mn = mx.clone();
+            c.allreduce_max_elems(&mut mx);
+            c.allreduce_min_elems(&mut mn);
+            (mx, mn)
+        });
+        for (mx, mn) in &results {
+            assert_eq!(mx, &vec![3.0, 0.0, 10.0]);
+            assert_eq!(mn, &vec![0.0, -3.0, 10.0]);
         }
     }
 

@@ -10,6 +10,7 @@
 use crate::elastic::ElasticSolver;
 use quake_mesh::{partition_morton, ExchangePlan, HexMesh};
 use quake_parcomm::{run_spmd, Communicator};
+use quake_telemetry::{reduce_across_ranks, Reduced, Snapshot};
 
 /// Per-rank outcome of a distributed run. A rank's state vectors are valid
 /// (identical to the serial solver) exactly on the nodes its own elements
@@ -22,6 +23,12 @@ pub struct DistributedRun {
     pub elements: Vec<Vec<u32>>,
     /// Interface exchange volume (node values per step) per rank.
     pub volumes: Vec<usize>,
+    /// Per-rank telemetry snapshots (empty unless telemetry was requested).
+    pub snapshots: Vec<Snapshot>,
+    /// Min/max/mean across ranks of every common metric — the per-phase load
+    /// imbalance view of the paper's scaling tables. Empty unless telemetry
+    /// was requested.
+    pub reduced: Vec<Reduced>,
 }
 
 /// Run `n_steps` of the elastic solver on `n_ranks` SPMD ranks with a Morton
@@ -31,6 +38,20 @@ pub fn run_distributed(
     n_ranks: usize,
     initial: Option<(&[f64], &[f64])>,
     n_steps: usize,
+) -> DistributedRun {
+    run_distributed_instrumented(solver, n_ranks, initial, n_steps, false)
+}
+
+/// [`run_distributed`] with optional per-rank telemetry: each rank steps with
+/// an instrumented registry, records its analytic phase costs (including the
+/// true interface exchange volume), and the run ends with a collective
+/// min/max/mean reduction over the phase metrics all ranks share.
+pub fn run_distributed_instrumented(
+    solver: &ElasticSolver<'_>,
+    n_ranks: usize,
+    initial: Option<(&[f64], &[f64])>,
+    n_steps: usize,
+    telemetry: bool,
 ) -> DistributedRun {
     let mesh: &HexMesh = solver.mesh;
     let parts = partition_morton(mesh.n_elements(), n_ranks);
@@ -69,7 +90,8 @@ pub fn run_distributed(
         let mut u_now = vec![0.0; ndof];
         let mut u_next = vec![0.0; ndof];
         let f = vec![0.0; ndof];
-        let mut ws = solver.workspace();
+        let mut ws =
+            if telemetry { solver.workspace_instrumented(rank) } else { solver.workspace() };
         if let Some((u0, v0)) = initial {
             u_now.copy_from_slice(u0);
             for d in 0..ndof {
@@ -83,10 +105,42 @@ pub fn run_distributed(
             std::mem::swap(&mut u_prev, &mut u_now);
             std::mem::swap(&mut u_now, &mut u_next);
         }
-        (u_prev, u_now)
+
+        // Attach this rank's analytic phase costs (with its true interface
+        // traffic: 3 doubles per shared node, each sent AND received) and
+        // reduce the common metrics across ranks. The per-color element
+        // spans are rank-local names (color counts differ per partition), so
+        // they stay in the snapshot but are excluded from the collective.
+        let (snapshot, reduced) = if telemetry {
+            let mut shape = solver.phase_shape(scope);
+            shape.exchange_doubles = 2 * 3 * volumes[rank] as u64;
+            solver.record_step_costs_shaped(&shape, n_steps as u64, &ws.reg);
+            let snap = ws.reg.snapshot();
+            let mut common = snap.clone();
+            common.retain(|name| !name.starts_with("span.step/elements/color"));
+            let reduced = reduce_across_ranks(comm, &common);
+            (snap, reduced)
+        } else {
+            (Snapshot::default(), Vec::new())
+        };
+        (u_prev, u_now, snapshot, reduced)
     });
 
-    DistributedRun { states: results, elements: per_rank, volumes }
+    let mut states = Vec::with_capacity(n_ranks);
+    let mut snapshots = Vec::with_capacity(n_ranks);
+    let mut reduced = Vec::new();
+    for (up, un, snap, red) in results {
+        states.push((up, un));
+        snapshots.push(snap);
+        if reduced.is_empty() {
+            reduced = red; // identical on every rank — keep rank 0's copy
+        }
+    }
+    if !telemetry {
+        snapshots.clear();
+    }
+
+    DistributedRun { states, elements: per_rank, volumes, snapshots, reduced }
 }
 
 #[cfg(test)]
@@ -154,6 +208,50 @@ mod tests {
             if ranks > 1 {
                 assert!(run.volumes.iter().any(|&v| v > 0), "no exchange at P={ranks}");
             }
+            // Uninstrumented runs carry no telemetry.
+            assert!(run.snapshots.is_empty() && run.reduced.is_empty());
         }
+    }
+
+    #[test]
+    fn instrumented_run_reduces_phase_metrics_across_ranks() {
+        let half = 1u32 << (MAX_LEVEL - 1);
+        let mut tree = LinearOctree::build(|o| o.level < 2 || (o.level < 3 && o.x < half));
+        tree.balance(BalanceMode::Full);
+        let mesh = HexMesh::from_octree(&tree, 8.0, |_, _, _, _| ElemMaterial {
+            lambda: 2.0,
+            mu: 1.0,
+            rho: 1.0,
+        });
+        let mut cfg = ElasticConfig::new(1.0);
+        cfg.dt = Some(0.05);
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = pulse(&mesh);
+        let (ranks, steps) = (4usize, 6usize);
+        let run = run_distributed_instrumented(&solver, ranks, Some((&u0, &v0)), steps, true);
+
+        assert_eq!(run.snapshots.len(), ranks);
+        // Every rank stepped every phase `steps` times.
+        for (rank, snap) in run.snapshots.iter().enumerate() {
+            for ph in ["step", "step/fill", "step/elements", "step/exchange", "step/tail"] {
+                let count = snap.get(&format!("span.{ph}.count"));
+                assert_eq!(count, Some(steps as f64), "rank {rank} phase {ph}");
+            }
+        }
+        // The reduction is present, covers the step span, and is coherent.
+        let by = |n: &str| {
+            run.reduced.iter().find(|r| r.name == n).unwrap_or_else(|| {
+                panic!("missing reduced metric {n}");
+            })
+        };
+        let secs = by("span.step.secs");
+        assert!(secs.min > 0.0 && secs.min <= secs.mean && secs.mean <= secs.max);
+        // Exchange traffic: some rank moves bytes, and the analytic counter
+        // matches the plan's volume (2 directions x 3 comps x 8 bytes).
+        let xbytes = by("ctr.step/exchange/bytes");
+        let max_vol = run.volumes.iter().copied().max().unwrap() as f64;
+        assert_eq!(xbytes.max, max_vol * 2.0 * 3.0 * 8.0 * steps as f64);
+        // Per-color spans stay rank-local (excluded from the collective).
+        assert!(run.reduced.iter().all(|r| !r.name.contains("color")));
     }
 }

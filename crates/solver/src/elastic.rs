@@ -46,9 +46,11 @@ use crate::abc::{accumulate_abc_damping, apply_abc_stiffness, build_abc_faces, A
 use crate::receivers::Seismogram;
 use crate::sources::AssembledSource;
 use quake_fem::hex8::{elastic_hex_matrices, elastic_matvec, lumped_hex_mass};
+use quake_machine::phases::{elastic_step_phases, ElasticStepShape};
 use quake_mesh::coloring::{color_elements, ElementColoring};
 use quake_mesh::HexMesh;
 use quake_model::attenuation::{damping_target_for_vs, fit_rayleigh};
+use quake_telemetry::{Registry, SpanId};
 
 /// Rayleigh-damping configuration: the frequency band the elementwise
 /// least-squares fit targets.
@@ -112,14 +114,67 @@ pub struct StepScope {
 
 /// Preallocated per-run scratch for the explicit step. Reusing one of these
 /// across steps makes the step's steady state allocation-free.
+///
+/// The workspace also carries the step's telemetry: a per-rank
+/// [`Registry`] (disabled by default — a disabled registry costs one branch
+/// per phase) and the pre-interned span ids of the step's phases, so the
+/// instrumented hot path performs no string lookups or allocations.
 pub struct StepWorkspace {
     /// Damping increment `w = u_k - u_{k-1}`, refreshed each step.
     w: Vec<f64>,
+    /// Per-rank metric registry (see [`ElasticSolver::workspace_instrumented`]).
+    pub reg: Registry,
+    /// Interned span ids of the step phases.
+    ids: StepSpanIds,
+}
+
+/// Pre-interned telemetry span ids of the step's phases (see the phase map
+/// in DESIGN.md's "Telemetry" section).
+struct StepSpanIds {
+    step: SpanId,
+    fill: SpanId,
+    elements: SpanId,
+    abc: SpanId,
+    fold: SpanId,
+    exchange: SpanId,
+    tail: SpanId,
+    interp: SpanId,
+    source: SpanId,
+    /// Per-color children of `step/elements`, grown on demand (the color
+    /// count is a property of the scope, not the workspace).
+    colors: Vec<SpanId>,
+}
+
+impl StepSpanIds {
+    fn intern(reg: &Registry) -> StepSpanIds {
+        StepSpanIds {
+            step: reg.span_id("step"),
+            fill: reg.span_id("step/fill"),
+            elements: reg.span_id("step/elements"),
+            abc: reg.span_id("step/abc"),
+            fold: reg.span_id("step/fold"),
+            exchange: reg.span_id("step/exchange"),
+            tail: reg.span_id("step/tail"),
+            interp: reg.span_id("step/interp"),
+            source: reg.span_id("source"),
+            colors: Vec::new(),
+        }
+    }
 }
 
 impl StepWorkspace {
     fn new(ndof: usize) -> StepWorkspace {
-        StepWorkspace { w: vec![0.0; ndof] }
+        StepWorkspace::with_registry(ndof, Registry::disabled())
+    }
+
+    fn with_registry(ndof: usize, reg: Registry) -> StepWorkspace {
+        let ids = StepSpanIds::intern(&reg);
+        StepWorkspace { w: vec![0.0; ndof], reg, ids }
+    }
+
+    /// Move the accumulated telemetry out of the workspace.
+    pub fn into_registry(self) -> Registry {
+        self.reg
     }
 }
 
@@ -254,9 +309,68 @@ impl<'m> ElasticSolver<'m> {
         }
     }
 
-    /// A fresh preallocated step workspace for this solver's mesh.
+    /// A fresh preallocated step workspace for this solver's mesh, with
+    /// telemetry disabled (the hot path pays one branch per phase).
     pub fn workspace(&self) -> StepWorkspace {
         StepWorkspace::new(3 * self.mesh.n_nodes())
+    }
+
+    /// A workspace whose [`Registry`] records per-phase span timings for
+    /// `rank` (use rank 0 for serial runs). Read the result from
+    /// [`StepWorkspace::reg`] or [`StepWorkspace::into_registry`].
+    pub fn workspace_instrumented(&self, rank: usize) -> StepWorkspace {
+        StepWorkspace::with_registry(3 * self.mesh.n_nodes(), Registry::new(rank))
+    }
+
+    /// The cached full-domain step schedule (the one [`ElasticSolver::step_with`] runs).
+    pub fn full_scope(&self) -> &StepScope {
+        &self.full_scope
+    }
+
+    /// The analytic per-step shape of a scope (damped/undamped element
+    /// split, nodes, hanging nodes, faces) for `quake-machine`'s per-phase
+    /// cost model. `exchange_doubles` is zero — only the caller that built
+    /// the exchange plan knows the interface volume.
+    pub fn phase_shape(&self, scope: &StepScope) -> ElasticStepShape {
+        let mut n_damped = 0u64;
+        let mut n_total = 0u64;
+        for color in scope.coloring.colors() {
+            for &ei in color {
+                n_total += 1;
+                if self.beta[ei as usize] != 0.0 {
+                    n_damped += 1;
+                }
+            }
+        }
+        ElasticStepShape {
+            n_damped,
+            n_undamped: n_total - n_damped,
+            n_nodes: self.mesh.n_nodes() as u64,
+            n_hanging: self.mesh.n_hanging() as u64,
+            n_abc_faces: scope.faces.len() as u64,
+            exchange_doubles: 0,
+        }
+    }
+
+    /// Record the analytic flop/byte counts of `n_steps` steps of `scope`
+    /// into `reg` as `step/<phase>/flops` and `step/<phase>/bytes` counters
+    /// (absolute set, so calling again after more steps overwrites). These
+    /// are the denominators the roofline report divides the measured span
+    /// times into.
+    pub fn record_step_costs(&self, scope: &StepScope, n_steps: u64, reg: &Registry) {
+        self.record_step_costs_shaped(&self.phase_shape(scope), n_steps, reg);
+    }
+
+    /// [`ElasticSolver::record_step_costs`] with a caller-adjusted shape
+    /// (e.g. with the real `exchange_doubles` of a distributed rank).
+    pub fn record_step_costs_shaped(&self, shape: &ElasticStepShape, n_steps: u64, reg: &Registry) {
+        if !reg.is_enabled() {
+            return;
+        }
+        for p in elastic_step_phases(shape) {
+            reg.set(&format!("step/{}/flops", p.name), p.flops * n_steps);
+            reg.set(&format!("step/{}/bytes", p.name), p.bytes * n_steps);
+        }
     }
 
     /// Build the step schedule for an element subset (ascending ids): the
@@ -332,11 +446,16 @@ impl<'m> ElasticSolver<'m> {
         let dt = self.dt;
         let dt2 = dt * dt;
 
+        // Disjoint field borrows: the scratch vector mutably, the registry
+        // shared, the span-id table mutably (per-color ids grow lazily).
+        let StepWorkspace { w, reg, ids } = ws;
+        reg.enter(ids.step);
+
         // Fused initial fill: one pass computes the damping increment
         // `w = u_k - u_{k-1}`, the source term, and the owner's diagonal
         // damping contribution -(dt/2) (alpha M + C^AB) w.
         let rhs = &mut *u_next; // reuse the output buffer
-        let w = &mut ws.w;
+        reg.enter(ids.fill);
         match &scope.owned {
             None => {
                 for d in 0..ndof {
@@ -358,54 +477,97 @@ impl<'m> ElasticSolver<'m> {
                 }
             }
         }
+        reg.exit(ids.fill);
 
         // Element stiffness/damping sweep, color-major.
-        self.sweep(scope, u_now, w, rhs);
+        reg.enter(ids.elements);
+        self.sweep(scope, u_now, w, rhs, reg, &mut ids.colors);
+        reg.exit(ids.elements);
 
         // Stacey tangential coupling (K^AB) of this scope's faces, applied
         // as a traction force directly into the rhs (pre-scaled by dt^2).
+        reg.enter(ids.abc);
         apply_abc_stiffness(&scope.faces, u_now, rhs, dt2);
+        reg.exit(ids.abc);
 
         // Project this rank's partial terms BEFORE the exchange. The fold is
         // linear, so the sum of per-rank folded partials equals the fold of
         // the assembled sum — and no rank ever needs hanging-node values it
         // did not itself assemble.
+        reg.enter(ids.fold);
         mesh.fold_hanging(rhs, 3);
+        reg.exit(ids.fold);
 
         // Sum-exchange the partially assembled terms at interface nodes.
+        reg.enter(ids.exchange);
         exchange(rhs);
+        reg.exit(ids.exchange);
 
         // Fused tail: master-space history terms with the *projected*
         // diagonals (same matrices as the LHS — this symmetry is what keeps
         // the constrained update stable) and the diagonal solve, one pass:
         //   rhs_m = lhs_inv * (rhs_m + 2 Mf u0 - Mf u- + (dt/2) Cf u0)
+        reg.enter(ids.tail);
         for d in 0..ndof {
             rhs[d] = (rhs[d] + (2.0 * self.mass_f[d] + 0.5 * dt * self.cdiag_f[d]) * u_now[d]
                 - self.mass_f[d] * u_prev[d])
                 * self.lhs_inv[d];
         }
+        reg.exit(ids.tail);
+        reg.enter(ids.interp);
         mesh.interpolate_hanging(rhs, 3);
+        reg.exit(ids.interp);
+        reg.exit(ids.step);
     }
 
     /// Element sweep dispatch: threaded over the coloring with the
     /// `parallel` feature, serial color-major otherwise (identical results —
     /// each node is written by at most one element per color).
-    fn sweep(&self, scope: &StepScope, u_now: &[f64], w: &[f64], rhs: &mut [f64]) {
+    ///
+    /// `reg`/`colors` carry the per-color telemetry spans
+    /// (`step/elements/color<i>`), interned lazily on first visit; a
+    /// disabled registry skips all of it at the cost of one branch per color.
+    fn sweep(
+        &self,
+        scope: &StepScope,
+        u_now: &[f64],
+        w: &[f64],
+        rhs: &mut [f64],
+        reg: &Registry,
+        colors: &mut Vec<SpanId>,
+    ) {
         #[cfg(feature = "parallel")]
         {
-            self.sweep_parallel(scope, u_now, w, rhs);
+            self.sweep_parallel(scope, u_now, w, rhs, reg, colors);
         }
         #[cfg(not(feature = "parallel"))]
         {
-            self.sweep_serial(scope, u_now, w, rhs);
+            self.sweep_serial(scope, u_now, w, rhs, reg, colors);
         }
     }
 
     /// Serial color-major element sweep — the canonical order.
-    fn sweep_serial(&self, scope: &StepScope, u_now: &[f64], w: &[f64], rhs: &mut [f64]) {
-        for color in scope.coloring.colors() {
+    fn sweep_serial(
+        &self,
+        scope: &StepScope,
+        u_now: &[f64],
+        w: &[f64],
+        rhs: &mut [f64],
+        reg: &Registry,
+        colors: &mut Vec<SpanId>,
+    ) {
+        for (ci, color) in scope.coloring.colors().enumerate() {
+            if reg.is_enabled() {
+                while colors.len() <= ci {
+                    colors.push(reg.span_id(&format!("step/elements/color{}", colors.len())));
+                }
+                reg.enter(colors[ci]);
+            }
             for &ei in color {
                 self.element_update(ei, u_now, w, rhs);
+            }
+            if reg.is_enabled() {
+                reg.exit(colors[ci]);
             }
         }
     }
@@ -458,15 +620,27 @@ impl<'m> ElasticSolver<'m> {
     /// color-major order. Each node is written by at most one element per
     /// color, so the result is bit-identical to [`Self::sweep_serial`] for
     /// any thread count.
+    ///
+    /// Per-color telemetry spans are recorded only on the serial fallback —
+    /// the threaded sweep attributes its whole time to `step/elements` (the
+    /// per-rank registry is single-threaded by design).
     #[cfg(feature = "parallel")]
-    fn sweep_parallel(&self, scope: &StepScope, u_now: &[f64], w: &[f64], rhs: &mut [f64]) {
+    fn sweep_parallel(
+        &self,
+        scope: &StepScope,
+        u_now: &[f64],
+        w: &[f64],
+        rhs: &mut [f64],
+        reg: &Registry,
+        colors: &mut Vec<SpanId>,
+    ) {
         let n_elems = scope.coloring.order.len();
         let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
         // Don't spawn for tiny sweeps: a thread needs a few hundred element
         // updates to amortize its creation.
         let threads = hw.min(n_elems / 256).max(1);
         if threads == 1 {
-            self.sweep_serial(scope, u_now, w, rhs);
+            self.sweep_serial(scope, u_now, w, rhs, reg, colors);
             return;
         }
 
@@ -552,13 +726,26 @@ impl<'m> ElasticSolver<'m> {
         receiver_nodes: &[u32],
         initial: Option<(&[f64], &[f64])>,
     ) -> RunResult {
+        let mut ws = self.workspace();
+        self.run_with(sources, receiver_nodes, initial, &mut ws)
+    }
+
+    /// [`ElasticSolver::run`] against a caller-held workspace, so an
+    /// instrumented registry ([`ElasticSolver::workspace_instrumented`])
+    /// survives the run for readout.
+    pub fn run_with(
+        &self,
+        sources: &[AssembledSource],
+        receiver_nodes: &[u32],
+        initial: Option<(&[f64], &[f64])>,
+        ws: &mut StepWorkspace,
+    ) -> RunResult {
         let t0 = std::time::Instant::now();
         let ndof = 3 * self.mesh.n_nodes();
         let mut u_prev = vec![0.0; ndof];
         let mut u_now = vec![0.0; ndof];
         let mut u_next = vec![0.0; ndof];
         let mut f = vec![0.0; ndof];
-        let mut ws = self.workspace();
         if let Some((u0, v0)) = initial {
             // u_now = u(0); u_prev = u(-dt) ~ u0 - dt v0 (first order is
             // enough: the error is O(dt^2), matching the scheme).
@@ -574,10 +761,12 @@ impl<'m> ElasticSolver<'m> {
         for k in 0..self.n_steps {
             let t = k as f64 * self.dt;
             f.iter_mut().for_each(|v| *v = 0.0);
+            ws.reg.enter(ws.ids.source);
             for s in sources {
                 s.add_force(t, &mut f);
             }
-            self.step_with(&u_prev, &u_now, &f, &mut u_next, &mut ws);
+            ws.reg.exit(ws.ids.source);
+            self.step_with(&u_prev, &u_now, &f, &mut u_next, ws);
             for (tr, &nd) in traces.iter_mut().zip(receiver_nodes) {
                 let b = nd as usize * 3;
                 tr.push(&u_now[b..b + 3]);
@@ -585,6 +774,10 @@ impl<'m> ElasticSolver<'m> {
             std::mem::swap(&mut u_prev, &mut u_now);
             std::mem::swap(&mut u_now, &mut u_next);
         }
+
+        // Pair the measured spans with their analytic work so the registry
+        // alone suffices for a roofline readout (no-op when disabled).
+        self.record_step_costs(&self.full_scope, self.n_steps as u64, &ws.reg);
 
         let flops = quake_machine::flops::elastic_total(
             self.mesh.n_elements() as u64,
@@ -731,8 +924,8 @@ mod tests {
         // d'Alembert: a rightward shear pulse at x0 arrives at x0 + vs*T.
         // Free boundaries pollute from the y/z faces at vp, so measure at the
         // center before pollution arrives.
-        let (lambda, mu, rho) = (2.0, 1.0, 1.0);
-        let vs = (mu / rho as f64).sqrt(); // 1.0
+        let (lambda, mu, rho) = (2.0f64, 1.0f64, 1.0f64);
+        let vs = (mu / rho).sqrt(); // 1.0
         let mesh = uniform_mesh(4, 16.0, lambda, mu, rho); // h = 1
         let mut cfg = ElasticConfig::new(1.0);
         cfg.abc = [false; 6];
@@ -916,6 +1109,91 @@ mod tests {
         assert!(worst <= 1e-12, "fused vs reference relative error {worst}");
     }
 
+    #[test]
+    fn instrumented_step_accounts_every_phase() {
+        let (mesh, cfg) = damped_hanging_setup();
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let ndof = 3 * mesh.n_nodes();
+        let (u0, v0) = shear_pulse(&mesh, 4.0, 1.5, 1.0);
+        let mut up = vec![0.0; ndof];
+        let mut un = u0.clone();
+        for d in 0..ndof {
+            up[d] = u0[d] - solver.dt * v0[d];
+        }
+        let mut next = vec![0.0; ndof];
+        let f = vec![0.0; ndof];
+        let n_steps = 5u64;
+        let mut ws = solver.workspace_instrumented(0);
+        for _ in 0..n_steps {
+            solver.step_with(&up, &un, &f, &mut next, &mut ws);
+            std::mem::swap(&mut up, &mut un);
+            std::mem::swap(&mut un, &mut next);
+        }
+        solver.record_step_costs(solver.full_scope(), n_steps, &ws.reg);
+        let reg = ws.into_registry();
+
+        const PHASES: [&str; 7] = ["fill", "elements", "abc", "fold", "exchange", "tail", "interp"];
+        let step = reg.span_stats("step").unwrap();
+        assert_eq!(step.count, n_steps);
+        // The seven phases are the step's only children, so their total time
+        // must equal the step's child time exactly (no lost nanoseconds).
+        let mut child_ns = 0;
+        for ph in PHASES {
+            let s = reg.span_stats(&format!("step/{ph}")).unwrap();
+            assert_eq!(s.count, n_steps, "phase {ph} missed a step");
+            child_ns += s.total_ns;
+        }
+        assert_eq!(child_ns, step.child_ns);
+
+        // The serial sweep nests one span per color under step/elements.
+        #[cfg(not(feature = "parallel"))]
+        {
+            let elements = reg.span_stats("step/elements").unwrap();
+            let mut color_ns = 0;
+            let mut ci = 0;
+            while let Some(s) = reg.span_stats(&format!("step/elements/color{ci}")) {
+                assert_eq!(s.count, n_steps);
+                color_ns += s.total_ns;
+                ci += 1;
+            }
+            assert!(ci >= 2, "expected a multi-color schedule, got {ci}");
+            assert_eq!(color_ns, elements.child_ns);
+        }
+
+        // Analytic work was attached to every phase (exchange has zero flops
+        // but the counter still exists).
+        let mut flops = 0;
+        for ph in PHASES {
+            flops += reg.counter(&format!("step/{ph}/flops")).unwrap();
+            assert!(reg.counter(&format!("step/{ph}/bytes")).is_some());
+        }
+        let shape = solver.phase_shape(solver.full_scope());
+        assert_eq!(shape.n_damped + shape.n_undamped, mesh.n_elements() as u64);
+        assert!(shape.n_damped > 0, "rayleigh config should damp elements");
+        assert!(flops > 0);
+    }
+
+    #[test]
+    fn disabled_workspace_records_nothing() {
+        let (mesh, cfg) = damped_hanging_setup();
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let ndof = 3 * mesh.n_nodes();
+        let mut ws = solver.workspace();
+        let (u0, v0) = shear_pulse(&mesh, 4.0, 1.5, 1.0);
+        let mut up = vec![0.0; ndof];
+        for d in 0..ndof {
+            up[d] = u0[d] - solver.dt * v0[d];
+        }
+        let mut next = vec![0.0; ndof];
+        let f = vec![0.0; ndof];
+        solver.step_with(&up, &u0, &f, &mut next, &mut ws);
+        solver.record_step_costs(solver.full_scope(), 1, &ws.reg);
+        let reg = ws.into_registry();
+        assert!(!reg.is_enabled());
+        assert!(reg.span_stats("step").is_none());
+        assert!(reg.counter("step/fill/flops").is_none());
+    }
+
     #[cfg(feature = "parallel")]
     #[test]
     fn parallel_sweep_is_bit_identical_to_serial() {
@@ -935,8 +1213,10 @@ mod tests {
         let mut rhs_serial = vec![0.0; ndof];
         let mut rhs_parallel = vec![0.0; ndof];
         let scope = &solver.full_scope;
-        solver.sweep_serial(scope, &u_now, &w, &mut rhs_serial);
-        solver.sweep_parallel(scope, &u_now, &w, &mut rhs_parallel);
+        let reg = Registry::disabled();
+        let mut colors = Vec::new();
+        solver.sweep_serial(scope, &u_now, &w, &mut rhs_serial, &reg, &mut colors);
+        solver.sweep_parallel(scope, &u_now, &w, &mut rhs_parallel, &reg, &mut colors);
         assert_eq!(rhs_serial, rhs_parallel);
     }
 }

@@ -1,0 +1,68 @@
+//! Minimal JSON emission helpers (std-only; this workspace is offline).
+//!
+//! Only what the telemetry serializers need: escaped strings and `f64`
+//! values that round-trip. Rust's `{}` formatting of `f64` already produces
+//! the shortest digit string that parses back to the same bits, so numeric
+//! trace lines are lossless.
+
+/// Append `v` as a JSON number. Non-finite values (which JSON cannot
+/// represent) are emitted as `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest round-trip formatting; integral values get a ".0" so the
+        // token is unambiguously a float for typed readers.
+        if v == v.trunc() && v.abs() < 1e15 {
+            out.push_str(&format!("{v:.1}"));
+        } else {
+            out.push_str(&format!("{v}"));
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `s` as a quoted, escaped JSON string.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(v: f64) -> String {
+        let mut s = String::new();
+        push_f64(&mut s, v);
+        s
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        assert_eq!(f(0.0), "0.0");
+        assert_eq!(f(-3.0), "-3.0");
+        assert_eq!(f(0.1), "0.1");
+        let v = 1.2345678901234567e-8;
+        assert_eq!(f(v).parse::<f64>().unwrap(), v);
+        assert_eq!(f(f64::NAN), "null");
+        assert_eq!(f(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        let mut s = String::new();
+        push_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

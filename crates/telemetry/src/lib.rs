@@ -1,0 +1,716 @@
+//! Std-only observability substrate (the paper's Section 4 methodology as a
+//! library).
+//!
+//! The paper characterizes its code almost entirely through measurement:
+//! per-phase wall-clock breakdowns of the time loop, sustained Mflop/s per
+//! PE, and communication-vs-compute ratios. This crate provides the
+//! counterpart for the reproduction — a per-rank [`Registry`] of
+//!
+//! - **span timers** with nested scopes ([`Registry::span`] /
+//!   [`Registry::enter`]/[`Registry::exit`]): each span accumulates call
+//!   count, total wall time and the time spent in *child* spans, so a
+//!   breakdown can report exclusive (self) time per phase,
+//! - **monotonic counters** and **gauges** ([`Registry::add`],
+//!   [`Registry::set`], [`Registry::gauge`]) for flop/byte/cache-event
+//!   accounting,
+//! - **fixed-bucket log-scale histograms** ([`Registry::observe`]) with
+//!   p50/p95/p99 quantile readout,
+//! - **NDJSON events** ([`Registry::event`]) for iteration traces
+//!   (Gauss-Newton convergence histories, etc.),
+//!
+//! serialized to JSON ([`Registry::to_json`]) or NDJSON
+//! ([`Registry::ndjson`]), and reduced across SPMD ranks with min/max/mean
+//! semantics via `quake-parcomm` ([`reduce::reduce_across_ranks`]).
+//!
+//! # Cost discipline
+//!
+//! Telemetry is compiled in, never `cfg`'d out, so the *disabled* path must
+//! be near-free: every public method checks a single `enabled` flag and
+//! returns before touching the `RefCell`. Hot loops additionally intern
+//! their span/counter names once ([`Registry::span_id`],
+//! [`Registry::counter_id`]) so the steady state performs no string lookups
+//! and no allocations — an enabled span costs two `Instant::now` calls and a
+//! few integer updates. `bench_step --check-overhead` guards the enabled
+//! overhead end to end.
+//!
+//! A `Registry` is deliberately `Send` but not `Sync`: in SPMD runs each
+//! rank owns its registry (exactly like per-rank counters in an MPI code)
+//! and cross-rank aggregation is an explicit reduction, not shared state.
+
+pub mod hist;
+pub mod json;
+pub mod reduce;
+
+pub use hist::Histogram;
+pub use reduce::{reduce_across_ranks, Reduced};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Interned span handle (see [`Registry::span_id`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(u32);
+
+/// Interned counter handle (see [`Registry::counter_id`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtrId(u32);
+
+/// Accumulated statistics of one span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed enter/exit pairs.
+    pub count: u64,
+    /// Total (inclusive) wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Wall time spent inside child spans, nanoseconds.
+    pub child_ns: u64,
+}
+
+impl SpanStats {
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 * 1e-9
+    }
+
+    /// Exclusive (self) time: total minus time attributed to children.
+    pub fn self_secs(&self) -> f64 {
+        self.total_ns.saturating_sub(self.child_ns) as f64 * 1e-9
+    }
+}
+
+struct Frame {
+    id: u32,
+    start: Instant,
+    /// Nanoseconds accumulated by direct children while this frame was open.
+    child_ns: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    span_ids: BTreeMap<String, u32>,
+    span_names: Vec<String>,
+    spans: Vec<SpanStats>,
+    stack: Vec<Frame>,
+    ctr_ids: BTreeMap<String, u32>,
+    ctr_names: Vec<String>,
+    ctrs: Vec<u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+    events: Vec<String>,
+}
+
+impl Inner {
+    fn span_slot(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.span_ids.get(name) {
+            return id;
+        }
+        let id = self.span_names.len() as u32;
+        self.span_ids.insert(name.to_string(), id);
+        self.span_names.push(name.to_string());
+        self.spans.push(SpanStats::default());
+        id
+    }
+
+    fn ctr_slot(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ctr_ids.get(name) {
+            return id;
+        }
+        let id = self.ctr_names.len() as u32;
+        self.ctr_ids.insert(name.to_string(), id);
+        self.ctr_names.push(name.to_string());
+        self.ctrs.push(0);
+        id
+    }
+}
+
+/// Per-rank metric registry. See the crate docs for the model.
+pub struct Registry {
+    enabled: bool,
+    rank: usize,
+    epoch: Instant,
+    inner: RefCell<Inner>,
+}
+
+impl Registry {
+    /// An enabled registry for `rank`.
+    pub fn new(rank: usize) -> Registry {
+        Registry { enabled: true, rank, epoch: Instant::now(), inner: RefCell::default() }
+    }
+
+    /// A disabled registry: every operation is a checked no-op (one branch).
+    pub fn disabled() -> Registry {
+        Registry { enabled: false, rank: 0, epoch: Instant::now(), inner: RefCell::default() }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    // ---- spans ----
+
+    /// Intern a span name; the returned id makes [`Registry::enter`] /
+    /// [`Registry::exit`] allocation- and lookup-free. On a disabled
+    /// registry the id is a dummy.
+    pub fn span_id(&self, name: &str) -> SpanId {
+        if !self.enabled {
+            return SpanId(u32::MAX);
+        }
+        SpanId(self.inner.borrow_mut().span_slot(name))
+    }
+
+    /// Open the span. Must be matched by [`Registry::exit`] with the same id
+    /// (spans strictly nest; the stack enforces it).
+    #[inline]
+    pub fn enter(&self, id: SpanId) {
+        if !self.enabled {
+            return;
+        }
+        let mut g = self.inner.borrow_mut();
+        g.stack.push(Frame { id: id.0, start: Instant::now(), child_ns: 0 });
+    }
+
+    /// Close the span, accumulating its elapsed time and attributing it to
+    /// the parent's child-time account.
+    #[inline]
+    pub fn exit(&self, id: SpanId) {
+        if !self.enabled {
+            return;
+        }
+        let mut g = self.inner.borrow_mut();
+        let frame = g.stack.pop().expect("span exit without matching enter");
+        assert_eq!(frame.id, id.0, "span exit does not match the innermost open span");
+        let elapsed = frame.start.elapsed().as_nanos() as u64;
+        let s = &mut g.spans[frame.id as usize];
+        s.count += 1;
+        s.total_ns += elapsed;
+        s.child_ns += frame.child_ns;
+        if let Some(parent) = g.stack.last_mut() {
+            parent.child_ns += elapsed;
+        }
+    }
+
+    /// RAII convenience: open a span by name, closed on guard drop.
+    pub fn span<'a>(&'a self, name: &str) -> SpanGuard<'a> {
+        let id = self.span_id(name);
+        self.enter(id);
+        SpanGuard { reg: self, id }
+    }
+
+    /// Statistics of a span by name (`None` if never interned).
+    pub fn span_stats(&self, name: &str) -> Option<SpanStats> {
+        let g = self.inner.borrow();
+        g.span_ids.get(name).map(|&id| g.spans[id as usize])
+    }
+
+    // ---- counters / gauges ----
+
+    /// Intern a counter name (same contract as [`Registry::span_id`]).
+    pub fn counter_id(&self, name: &str) -> CtrId {
+        if !self.enabled {
+            return CtrId(u32::MAX);
+        }
+        CtrId(self.inner.borrow_mut().ctr_slot(name))
+    }
+
+    /// Add to an interned counter.
+    #[inline]
+    pub fn add_id(&self, id: CtrId, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.borrow_mut().ctrs[id.0 as usize] += n;
+    }
+
+    /// Add to a counter by name.
+    pub fn add(&self, name: &str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        let id = self.counter_id(name);
+        self.add_id(id, n);
+    }
+
+    /// Set a counter to an absolute value (for exporting externally
+    /// accumulated statistics, e.g. a pager's cache counters).
+    pub fn set(&self, name: &str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        let id = self.counter_id(name);
+        self.inner.borrow_mut().ctrs[id.0 as usize] = v;
+    }
+
+    /// Counter value by name (`None` if never touched).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let g = self.inner.borrow();
+        g.ctr_ids.get(name).map(|&id| g.ctrs[id as usize])
+    }
+
+    /// Set a named floating-point gauge (last write wins).
+    pub fn gauge(&self, name: &str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.borrow_mut().gauges.insert(name.to_string(), v);
+    }
+
+    /// Gauge value by name.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner.borrow().gauges.get(name).copied()
+    }
+
+    // ---- histograms ----
+
+    /// Record one observation into the named log-scale histogram.
+    pub fn observe(&self, name: &str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.borrow_mut().hists.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Snapshot of a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.borrow().hists.get(name).cloned()
+    }
+
+    // ---- events ----
+
+    /// Append an NDJSON event line: monotonic timestamp, rank, event name and
+    /// numeric fields. The formatting round-trips `f64` exactly, so traces
+    /// are reproducible from the log alone.
+    pub fn event(&self, name: &str, fields: &[(&str, f64)]) {
+        if !self.enabled {
+            return;
+        }
+        let mut line = String::with_capacity(64 + 16 * fields.len());
+        line.push_str("{\"t\":");
+        json::push_f64(&mut line, self.epoch.elapsed().as_secs_f64());
+        line.push_str(",\"rank\":");
+        line.push_str(&self.rank.to_string());
+        line.push_str(",\"event\":");
+        json::push_str(&mut line, name);
+        for (k, v) in fields {
+            line.push(',');
+            json::push_str(&mut line, k);
+            line.push(':');
+            json::push_f64(&mut line, *v);
+        }
+        line.push('}');
+        self.inner.borrow_mut().events.push(line);
+    }
+
+    /// Number of recorded events.
+    pub fn n_events(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// Fold every metric of `other` into this registry: span statistics and
+    /// counters add, gauges take `other`'s value, histograms merge bucket-wise,
+    /// events append in order. Used to merge a sub-component's registry (e.g.
+    /// a solver workspace's) into a run-level one. No-op when either side is
+    /// disabled; `other` must have no open spans.
+    pub fn absorb(&self, other: &Registry) {
+        if !self.enabled || !other.enabled || std::ptr::eq(self, other) {
+            return;
+        }
+        let o = other.inner.borrow();
+        assert!(o.stack.is_empty(), "absorb of a registry with open spans");
+        let mut g = self.inner.borrow_mut();
+        for (name, &oid) in &o.span_ids {
+            let os = o.spans[oid as usize];
+            let id = g.span_slot(name);
+            let s = &mut g.spans[id as usize];
+            s.count += os.count;
+            s.total_ns += os.total_ns;
+            s.child_ns += os.child_ns;
+        }
+        for (name, &oid) in &o.ctr_ids {
+            let id = g.ctr_slot(name);
+            g.ctrs[id as usize] += o.ctrs[oid as usize];
+        }
+        for (name, &v) in &o.gauges {
+            g.gauges.insert(name.clone(), v);
+        }
+        for (name, h) in &o.hists {
+            g.hists.entry(name.clone()).or_default().merge(h);
+        }
+        g.events.extend(o.events.iter().cloned());
+    }
+
+    // ---- reset / snapshot / serialization ----
+
+    /// Clear all accumulated statistics and events, keeping interned ids
+    /// valid (e.g. to discard a warm-up trial).
+    pub fn reset(&self) {
+        if !self.enabled {
+            return;
+        }
+        let mut g = self.inner.borrow_mut();
+        assert!(g.stack.is_empty(), "reset with open spans");
+        for s in g.spans.iter_mut() {
+            *s = SpanStats::default();
+        }
+        for c in g.ctrs.iter_mut() {
+            *c = 0;
+        }
+        g.gauges.clear();
+        g.hists.clear();
+        g.events.clear();
+    }
+
+    /// Flat, name-sorted numeric snapshot of every metric — the unit of
+    /// cross-rank reduction. Spans contribute `secs`/`self_secs`/`count`,
+    /// counters and gauges their value, histograms count/mean/quantiles.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.inner.borrow();
+        let mut entries: Vec<(String, f64)> = Vec::new();
+        for (name, &id) in &g.span_ids {
+            let s = &g.spans[id as usize];
+            entries.push((format!("span.{name}.secs"), s.total_secs()));
+            entries.push((format!("span.{name}.self_secs"), s.self_secs()));
+            entries.push((format!("span.{name}.count"), s.count as f64));
+        }
+        for (name, &id) in &g.ctr_ids {
+            entries.push((format!("ctr.{name}"), g.ctrs[id as usize] as f64));
+        }
+        for (name, &v) in &g.gauges {
+            entries.push((format!("gauge.{name}"), v));
+        }
+        for (name, h) in &g.hists {
+            entries.push((format!("hist.{name}.count"), h.count() as f64));
+            entries.push((format!("hist.{name}.mean"), h.mean()));
+            entries.push((format!("hist.{name}.p50"), h.quantile(0.50)));
+            entries.push((format!("hist.{name}.p95"), h.quantile(0.95)));
+            entries.push((format!("hist.{name}.p99"), h.quantile(0.99)));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { entries }
+    }
+
+    /// One JSON object with every metric, keyed by kind.
+    pub fn to_json(&self) -> String {
+        let g = self.inner.borrow();
+        let mut s = String::from("{");
+        s.push_str("\"rank\":");
+        s.push_str(&self.rank.to_string());
+        s.push_str(",\"spans\":{");
+        for (i, (name, &id)) in g.span_ids.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let sp = &g.spans[id as usize];
+            json::push_str(&mut s, name);
+            s.push_str(":{\"count\":");
+            s.push_str(&sp.count.to_string());
+            s.push_str(",\"secs\":");
+            json::push_f64(&mut s, sp.total_secs());
+            s.push_str(",\"self_secs\":");
+            json::push_f64(&mut s, sp.self_secs());
+            s.push('}');
+        }
+        s.push_str("},\"counters\":{");
+        for (i, (name, &id)) in g.ctr_ids.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::push_str(&mut s, name);
+            s.push(':');
+            s.push_str(&g.ctrs[id as usize].to_string());
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (name, &v)) in g.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::push_str(&mut s, name);
+            s.push(':');
+            json::push_f64(&mut s, v);
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in g.hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::push_str(&mut s, name);
+            s.push(':');
+            s.push_str(&h.to_json());
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// NDJSON dump: one line per span/counter/gauge/histogram, then every
+    /// recorded event line in order.
+    pub fn ndjson(&self) -> String {
+        let g = self.inner.borrow();
+        let mut out = String::new();
+        for (name, &id) in &g.span_ids {
+            let sp = &g.spans[id as usize];
+            out.push_str("{\"type\":\"span\",\"rank\":");
+            out.push_str(&self.rank.to_string());
+            out.push_str(",\"name\":");
+            json::push_str(&mut out, name);
+            out.push_str(",\"count\":");
+            out.push_str(&sp.count.to_string());
+            out.push_str(",\"secs\":");
+            json::push_f64(&mut out, sp.total_secs());
+            out.push_str(",\"self_secs\":");
+            json::push_f64(&mut out, sp.self_secs());
+            out.push_str("}\n");
+        }
+        for (name, &id) in &g.ctr_ids {
+            out.push_str("{\"type\":\"counter\",\"rank\":");
+            out.push_str(&self.rank.to_string());
+            out.push_str(",\"name\":");
+            json::push_str(&mut out, name);
+            out.push_str(",\"value\":");
+            out.push_str(&g.ctrs[id as usize].to_string());
+            out.push_str("}\n");
+        }
+        for (name, &v) in &g.gauges {
+            out.push_str("{\"type\":\"gauge\",\"rank\":");
+            out.push_str(&self.rank.to_string());
+            out.push_str(",\"name\":");
+            json::push_str(&mut out, name);
+            out.push_str(",\"value\":");
+            json::push_f64(&mut out, v);
+            out.push_str("}\n");
+        }
+        for (name, h) in &g.hists {
+            out.push_str("{\"type\":\"histogram\",\"rank\":");
+            out.push_str(&self.rank.to_string());
+            out.push_str(",\"name\":");
+            json::push_str(&mut out, name);
+            out.push_str(",\"stats\":");
+            out.push_str(&h.to_json());
+            out.push_str("}\n");
+        }
+        for e in &g.events {
+            out.push_str(e);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// RAII span guard returned by [`Registry::span`].
+pub struct SpanGuard<'a> {
+    reg: &'a Registry,
+    id: SpanId,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.reg.exit(self.id);
+    }
+}
+
+/// Flat, name-sorted numeric view of a registry (see [`Registry::snapshot`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub entries: Vec<(String, f64)>,
+}
+
+impl Snapshot {
+    /// Keep only entries whose name passes `keep`. Use before
+    /// [`reduce_across_ranks`] when ranks may hold rank-local metric names
+    /// (e.g. per-color element spans — color counts differ per partition).
+    pub fn retain(&mut self, mut keep: impl FnMut(&str) -> bool) {
+        self.entries.retain(|(n, _)| keep(n));
+    }
+
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.binary_search_by(|(k, _)| k.as_str().cmp(name)).ok().map(|i| self.entries[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_account_child_time_within_parent() {
+        let reg = Registry::new(0);
+        for _ in 0..5 {
+            let _outer = reg.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = reg.span("outer/work");
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            {
+                let _inner = reg.span("outer/other");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let outer = reg.span_stats("outer").unwrap();
+        let work = reg.span_stats("outer/work").unwrap();
+        let other = reg.span_stats("outer/other").unwrap();
+        assert_eq!(outer.count, 5);
+        assert_eq!(work.count, 5);
+        // Child time is fully contained in the parent's total...
+        assert!(work.total_ns + other.total_ns <= outer.total_ns);
+        // ...and equals the parent's child account exactly.
+        assert_eq!(outer.child_ns, work.total_ns + other.total_ns);
+        // Self time is positive (the parent slept 2ms per iteration itself).
+        assert!(outer.self_secs() > 0.0);
+        assert!(outer.self_secs() <= outer.total_secs());
+        // Leaf spans have no children.
+        assert_eq!(work.child_ns, 0);
+    }
+
+    #[test]
+    fn interned_ids_match_string_api() {
+        let reg = Registry::new(3);
+        let id = reg.span_id("phase");
+        reg.enter(id);
+        reg.exit(id);
+        let _g = reg.span("phase");
+        drop(_g);
+        assert_eq!(reg.span_stats("phase").unwrap().count, 2);
+        let c = reg.counter_id("flops");
+        reg.add_id(c, 10);
+        reg.add("flops", 5);
+        assert_eq!(reg.counter("flops"), Some(15));
+        reg.set("flops", 7);
+        assert_eq!(reg.counter("flops"), Some(7));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::disabled();
+        {
+            let _g = reg.span("anything");
+            reg.add("ctr", 5);
+            reg.gauge("g", 1.0);
+            reg.observe("h", 2.0);
+            reg.event("e", &[("x", 1.0)]);
+        }
+        assert!(reg.span_stats("anything").is_none());
+        assert!(reg.counter("ctr").is_none());
+        assert!(reg.gauge_value("g").is_none());
+        assert!(reg.histogram("h").is_none());
+        assert_eq!(reg.n_events(), 0);
+        assert!(reg.snapshot().entries.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_exit_panics() {
+        let reg = Registry::new(0);
+        let a = reg.span_id("a");
+        let b = reg.span_id("b");
+        reg.enter(a);
+        reg.exit(b);
+    }
+
+    #[test]
+    fn events_serialize_as_ndjson() {
+        let reg = Registry::new(1);
+        reg.event("gn_iter", &[("iter", 0.0), ("misfit", 1.25e-3)]);
+        reg.event("gn_iter", &[("iter", 1.0), ("misfit", 6.0e-4)]);
+        let nd = reg.ndjson();
+        let lines: Vec<&str> = nd.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"gn_iter\""));
+        assert!(lines[0].contains("\"iter\":0"));
+        assert!(lines[1].contains("\"misfit\":0.0006"));
+        assert!(lines[0].contains("\"rank\":1"));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_searchable() {
+        let reg = Registry::new(0);
+        reg.add("z_ctr", 3);
+        reg.gauge("a_gauge", 2.5);
+        {
+            let _g = reg.span("mid");
+        }
+        reg.observe("h", 4.0);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(snap.get("ctr.z_ctr"), Some(3.0));
+        assert_eq!(snap.get("gauge.a_gauge"), Some(2.5));
+        assert_eq!(snap.get("hist.h.count"), Some(1.0));
+        assert_eq!(snap.get("span.mid.count"), Some(1.0));
+        assert!(snap.get("nope").is_none());
+    }
+
+    #[test]
+    fn reset_clears_stats_but_keeps_ids() {
+        let reg = Registry::new(0);
+        let id = reg.span_id("s");
+        reg.enter(id);
+        reg.exit(id);
+        reg.add("c", 4);
+        reg.event("e", &[]);
+        reg.reset();
+        assert_eq!(reg.span_stats("s").unwrap().count, 0);
+        assert_eq!(reg.counter("c"), Some(0));
+        assert_eq!(reg.n_events(), 0);
+        // The old id is still valid after reset.
+        reg.enter(id);
+        reg.exit(id);
+        assert_eq!(reg.span_stats("s").unwrap().count, 1);
+    }
+
+    #[test]
+    fn to_json_is_structurally_sound() {
+        let reg = Registry::new(2);
+        {
+            let _g = reg.span("a\"b");
+        }
+        reg.add("c", 1);
+        reg.gauge("g", -0.5);
+        reg.observe("h", 10.0);
+        let j = reg.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"a\\\"b\""), "span name must be escaped: {j}");
+        assert!(j.contains("\"counters\":{\"c\":1}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn absorb_merges_every_metric_kind() {
+        let a = Registry::new(0);
+        let b = Registry::new(0);
+        for reg in [&a, &b] {
+            let _g = reg.span("shared");
+            reg.add("n", 10);
+            reg.observe("h", 4.0);
+        }
+        {
+            let _g = b.span("only_b");
+        }
+        a.gauge("g", 1.0);
+        b.gauge("g", 2.0);
+        b.event("ev", &[("x", 1.0)]);
+        a.absorb(&b);
+        // Spans sum by name; names unknown to `a` are interned.
+        assert_eq!(a.span_stats("shared").unwrap().count, 2);
+        assert_eq!(a.span_stats("only_b").unwrap().count, 1);
+        // Counters add, gauges take the absorbed value, histograms merge,
+        // events append.
+        assert_eq!(a.counter("n"), Some(20));
+        assert_eq!(a.gauge_value("g"), Some(2.0));
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(a.n_events(), 1);
+        // `b` is untouched, and self/disabled absorbs are no-ops.
+        assert_eq!(b.counter("n"), Some(10));
+        a.absorb(&a);
+        assert_eq!(a.counter("n"), Some(20));
+        a.absorb(&Registry::disabled());
+        Registry::disabled().absorb(&a);
+        assert_eq!(a.counter("n"), Some(20));
+    }
+}

@@ -1,0 +1,158 @@
+//! Cross-rank registry reduction over `quake-parcomm`.
+//!
+//! SPMD runs produce one [`crate::Registry`] per rank; the paper's tables
+//! report min/max/mean across PEs (load imbalance is exactly the min-to-max
+//! spread of the compute phase). [`reduce_across_ranks`] is a collective:
+//! every rank calls it with its own [`crate::Snapshot`], every rank returns
+//! the same reduced view. Metric name sets must agree across ranks (they do
+//! in an SPMD code by construction — the same instrumented code runs
+//! everywhere); a fingerprint check turns a divergence into a loud panic
+//! instead of a silently misaligned reduction.
+
+use crate::Snapshot;
+use quake_parcomm::Communicator;
+
+/// Min/max/mean of one metric across ranks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reduced {
+    pub name: String,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+/// FNV-1a over the metric names — the cross-rank consistency fingerprint,
+/// split into two exactly-representable 32-bit halves.
+fn name_fingerprint(snap: &Snapshot) -> (f64, f64) {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (name, _) in &snap.entries {
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0xff; // name separator
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    ((h >> 32) as u32 as f64, h as u32 as f64)
+}
+
+/// Reduce a per-rank snapshot to min/max/mean per metric. Collective: every
+/// rank must call with a snapshot holding the *same metric names* in the
+/// same (sorted) order; all ranks receive the full reduced list.
+pub fn reduce_across_ranks(comm: &Communicator, snap: &Snapshot) -> Vec<Reduced> {
+    let (hi, lo) = name_fingerprint(snap);
+    assert_eq!(
+        comm.allreduce_max(hi),
+        -comm.allreduce_max(-hi),
+        "metric name sets differ across ranks"
+    );
+    assert_eq!(
+        comm.allreduce_max(lo),
+        -comm.allreduce_max(-lo),
+        "metric name sets differ across ranks"
+    );
+
+    let vals: Vec<f64> = snap.entries.iter().map(|(_, v)| *v).collect();
+    let mut sum = vals.clone();
+    comm.allreduce_sum(&mut sum);
+    let mut max = vals.clone();
+    comm.allreduce_max_elems(&mut max);
+    let mut min = vals;
+    comm.allreduce_min_elems(&mut min);
+
+    let p = comm.size() as f64;
+    snap.entries
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| Reduced {
+            name: name.clone(),
+            min: min[i],
+            max: max[i],
+            mean: sum[i] / p,
+        })
+        .collect()
+}
+
+/// Render a reduced metric list as NDJSON lines (one per metric).
+pub fn reduced_ndjson(reduced: &[Reduced], n_ranks: usize) -> String {
+    let mut out = String::new();
+    for r in reduced {
+        out.push_str("{\"type\":\"reduced\",\"ranks\":");
+        out.push_str(&n_ranks.to_string());
+        out.push_str(",\"name\":");
+        crate::json::push_str(&mut out, &r.name);
+        for (k, v) in [("min", r.min), ("max", r.max), ("mean", r.mean)] {
+            out.push_str(",\"");
+            out.push_str(k);
+            out.push_str("\":");
+            crate::json::push_f64(&mut out, v);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use quake_parcomm::run_spmd;
+
+    #[test]
+    fn four_rank_reduction_computes_min_max_mean() {
+        // Each rank records the same metric names with rank-dependent values;
+        // the reduction must agree on every rank.
+        let all = run_spmd(4, |comm| {
+            let reg = Registry::new(comm.rank());
+            let r = comm.rank() as f64;
+            reg.add("work_items", 10 + comm.rank() as u64);
+            reg.gauge("imbalance", 1.0 + 0.1 * r);
+            {
+                let _g = reg.span("phase");
+            }
+            reduce_across_ranks(comm, &reg.snapshot())
+        });
+        for reduced in &all {
+            assert_eq!(reduced, &all[0], "reduction differs across ranks");
+        }
+        let by_name = |n: &str| all[0].iter().find(|r| r.name == n).unwrap().clone();
+        let w = by_name("ctr.work_items");
+        assert_eq!(w.min, 10.0);
+        assert_eq!(w.max, 13.0);
+        assert_eq!(w.mean, 11.5);
+        let g = by_name("gauge.imbalance");
+        assert!((g.min - 1.0).abs() < 1e-12);
+        assert!((g.max - 1.3).abs() < 1e-12);
+        assert!((g.mean - 1.15).abs() < 1e-12);
+        let c = by_name("span.phase.count");
+        assert_eq!((c.min, c.max, c.mean), (1.0, 1.0, 1.0));
+        // Span seconds reduce to sane values: min <= mean <= max.
+        let s = by_name("span.phase.secs");
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    // Every rank detects the mismatch via the fingerprint allreduce and
+    // panics; `run_spmd` propagates the first as "rank panicked".
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn mismatched_metric_names_panic() {
+        run_spmd(2, |comm| {
+            let reg = Registry::new(comm.rank());
+            if comm.rank() == 0 {
+                reg.add("only_on_rank0", 1);
+            } else {
+                reg.add("only_on_rank1", 1);
+            }
+            reduce_across_ranks(comm, &reg.snapshot())
+        });
+    }
+
+    #[test]
+    fn reduced_ndjson_emits_one_line_per_metric() {
+        let reduced = vec![Reduced { name: "ctr.x".into(), min: 1.0, max: 3.0, mean: 2.0 }];
+        let nd = reduced_ndjson(&reduced, 4);
+        assert_eq!(nd.lines().count(), 1);
+        assert!(nd.contains("\"ranks\":4"));
+        assert!(nd.contains("\"mean\":2.0"));
+    }
+}
