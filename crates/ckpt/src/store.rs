@@ -1,0 +1,306 @@
+//! Checkpoint files in a run directory: atomic writes, latest-valid discovery.
+//!
+//! A run directory holds one file per `(base, step)` pair:
+//!
+//! ```text
+//! <dir>/<base>.<step:010>.qckpt
+//! ```
+//!
+//! Writes go through `<name>.tmp` + rename, so a crash mid-write never
+//! leaves a half-written file under the final name — the worst case is a
+//! stale `.tmp` the reader ignores. Discovery walks the directory, parses
+//! step numbers out of the names, and [`CheckpointReader::latest_valid`]
+//! decodes candidates newest-first, *skipping* any file whose checksum or
+//! framing fails — a corrupted latest checkpoint silently falls back to the
+//! previous valid one (the acceptance scenario of the recover benchmark).
+
+use crate::format::{decode_file, encode_file};
+use crate::{Checkpointable, CkptError, Decoder, Encoder};
+use quake_telemetry::Registry;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File extension of finalized checkpoints.
+pub const EXTENSION: &str = "qckpt";
+
+fn file_name(base: &str, step: u64) -> String {
+    format!("{base}.{step:010}.{EXTENSION}")
+}
+
+/// Parse `<base>.<step>.qckpt` back into the step number.
+fn parse_step(base: &str, name: &str) -> Option<u64> {
+    let rest = name.strip_prefix(base)?.strip_prefix('.')?;
+    let digits = rest.strip_suffix(&format!(".{EXTENSION}"))?;
+    if digits.len() != 10 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Writes checkpoints of one state stream into a run directory.
+pub struct CheckpointWriter {
+    dir: PathBuf,
+    base: String,
+    /// Keep at most this many finalized checkpoints (0 = keep everything).
+    keep: usize,
+}
+
+impl CheckpointWriter {
+    /// Create a writer for stream `base` under `dir` (created if missing).
+    pub fn new(dir: &Path, base: &str) -> Result<CheckpointWriter, CkptError> {
+        fs::create_dir_all(dir)?;
+        Ok(CheckpointWriter { dir: dir.to_path_buf(), base: base.to_string(), keep: 0 })
+    }
+
+    /// Retain only the newest `keep` checkpoints, pruning older ones after
+    /// each successful write. At least 2 are always kept so a corrupted
+    /// newest file still has a fallback.
+    pub fn with_retention(mut self, keep: usize) -> CheckpointWriter {
+        self.keep = if keep == 0 { 0 } else { keep.max(2) };
+        self
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// Write `state` as the checkpoint for `step`: encode, frame, write to a
+    /// `.tmp` sibling, fsync, rename into place, prune. Records a
+    /// `ckpt_write` span and `ckpt/bytes_written` / `ckpt/writes` counters
+    /// on `reg` (pass a disabled registry to skip).
+    pub fn write<T: Checkpointable>(
+        &self,
+        step: u64,
+        state: &T,
+        reg: &Registry,
+    ) -> Result<PathBuf, CkptError> {
+        let _s = reg.span("ckpt_write");
+        let mut enc = Encoder::new();
+        state.encode(&mut enc);
+        let img = encode_file(T::KIND, step, &enc.into_bytes());
+
+        let final_path = self.dir.join(file_name(&self.base, step));
+        let tmp_path = self.dir.join(format!("{}.tmp", file_name(&self.base, step)));
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&img)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+
+        reg.add("ckpt/bytes_written", img.len() as u64);
+        reg.add("ckpt/writes", 1);
+
+        if self.keep > 0 {
+            let mut steps = CheckpointReader::new(&self.dir, &self.base).steps();
+            if steps.len() > self.keep {
+                steps.truncate(steps.len() - self.keep);
+                for old in steps {
+                    let _ = fs::remove_file(self.dir.join(file_name(&self.base, old)));
+                }
+            }
+        }
+        Ok(final_path)
+    }
+}
+
+/// Reads checkpoints of one state stream from a run directory.
+pub struct CheckpointReader {
+    dir: PathBuf,
+    base: String,
+}
+
+impl CheckpointReader {
+    pub fn new(dir: &Path, base: &str) -> CheckpointReader {
+        CheckpointReader { dir: dir.to_path_buf(), base: base.to_string() }
+    }
+
+    /// Step numbers of all finalized checkpoints, ascending. Files that do
+    /// not match the naming scheme (including `.tmp` leftovers) are ignored;
+    /// validity of the *contents* is checked only on load.
+    pub fn steps(&self) -> Vec<u64> {
+        let mut steps = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else { return steps };
+        for entry in entries.flatten() {
+            if let Some(name) = entry.file_name().to_str() {
+                if let Some(step) = parse_step(&self.base, name) {
+                    steps.push(step);
+                }
+            }
+        }
+        steps.sort_unstable();
+        steps.dedup();
+        steps
+    }
+
+    /// Load and verify the checkpoint for one specific step.
+    pub fn load<T: Checkpointable>(&self, step: u64) -> Result<(u64, T), CkptError> {
+        let bytes = fs::read(self.dir.join(file_name(&self.base, step)))?;
+        let (file_step, payload) = decode_file(T::KIND, &bytes)?;
+        let mut dec = Decoder::new(payload);
+        let state = T::decode(&mut dec)?;
+        dec.finish()?;
+        Ok((file_step, state))
+    }
+
+    /// The newest checkpoint that passes checksum + decode, scanning
+    /// descending and *skipping* corrupted/truncated files. Records a
+    /// `ckpt_restore` span, `ckpt/bytes_read`, and one `ckpt/skipped_invalid`
+    /// count per rejected candidate. Returns `None` if no valid checkpoint
+    /// exists.
+    pub fn latest_valid<T: Checkpointable>(&self, reg: &Registry) -> Option<(u64, T)> {
+        let _s = reg.span("ckpt_restore");
+        for &step in self.steps().iter().rev() {
+            match self.load::<T>(step) {
+                Ok((file_step, state)) => {
+                    debug_assert_eq!(file_step, step);
+                    let path = self.dir.join(file_name(&self.base, step));
+                    if let Ok(meta) = fs::metadata(&path) {
+                        reg.add("ckpt/bytes_read", meta.len());
+                    }
+                    reg.add("ckpt/restores", 1);
+                    return Some((step, state));
+                }
+                Err(_) => {
+                    reg.add("ckpt/skipped_invalid", 1);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Demo {
+        k: u64,
+        xs: Vec<f64>,
+    }
+
+    impl Checkpointable for Demo {
+        const KIND: &'static str = "quake.ckpt.demo.v1";
+
+        fn encode(&self, enc: &mut Encoder) {
+            enc.put_u64(self.k);
+            enc.put_f64_slice(&self.xs);
+        }
+
+        fn decode(dec: &mut Decoder) -> Result<Demo, CkptError> {
+            Ok(Demo { k: dec.take_u64()?, xs: dec.take_f64_vec()? })
+        }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("quake-ckpt-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_latest_valid_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let w = CheckpointWriter::new(&dir, "state").unwrap();
+        let off = Registry::disabled();
+        for k in [10u64, 20, 30] {
+            let d = Demo { k, xs: vec![k as f64, -1.5, 0.0] };
+            w.write(k, &d, &off).unwrap();
+        }
+        let r = CheckpointReader::new(&dir, "state");
+        assert_eq!(r.steps(), vec![10, 20, 30]);
+        let (step, got) = r.latest_valid::<Demo>(&off).unwrap();
+        assert_eq!(step, 30);
+        assert_eq!(got, Demo { k: 30, xs: vec![30.0, -1.5, 0.0] });
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_newest_falls_back_to_previous_valid() {
+        let dir = tmpdir("fallback");
+        let w = CheckpointWriter::new(&dir, "state").unwrap();
+        let reg = Registry::new(0);
+        w.write(1, &Demo { k: 1, xs: vec![1.0] }, &reg).unwrap();
+        let p2 = w.write(2, &Demo { k: 2, xs: vec![2.0] }, &reg).unwrap();
+        // Flip a payload byte in the newest file.
+        let mut bytes = fs::read(&p2).unwrap();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0xFF;
+        fs::write(&p2, &bytes).unwrap();
+
+        let r = CheckpointReader::new(&dir, "state");
+        let (step, got) = r.latest_valid::<Demo>(&reg).unwrap();
+        assert_eq!(step, 1);
+        assert_eq!(got.xs, vec![1.0]);
+        assert_eq!(reg.counter("ckpt/skipped_invalid"), Some(1));
+        assert!(reg.counter("ckpt/bytes_written").unwrap() > 0);
+        assert_eq!(reg.span_stats("ckpt_write").unwrap().count, 2);
+        assert_eq!(reg.span_stats("ckpt_restore").unwrap().count, 1);
+
+        // Truncate it too: still falls back.
+        fs::write(&p2, &bytes[..8]).unwrap();
+        assert_eq!(r.latest_valid::<Demo>(&Registry::disabled()).unwrap().0, 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_leftovers_and_foreign_files_are_ignored() {
+        let dir = tmpdir("ignore");
+        let w = CheckpointWriter::new(&dir, "state").unwrap();
+        let off = Registry::disabled();
+        w.write(5, &Demo { k: 5, xs: vec![] }, &off).unwrap();
+        // A crash could leave a stale tmp; unrelated files may coexist.
+        fs::write(dir.join("state.0000000009.qckpt.tmp"), b"half-written").unwrap();
+        fs::write(dir.join("other.0000000007.qckpt"), b"different stream").unwrap();
+        fs::write(dir.join("notes.txt"), b"hi").unwrap();
+        let r = CheckpointReader::new(&dir, "state");
+        assert_eq!(r.steps(), vec![5]);
+        assert_eq!(r.latest_valid::<Demo>(&off).unwrap().0, 5);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn retention_prunes_old_checkpoints() {
+        let dir = tmpdir("retention");
+        let w = CheckpointWriter::new(&dir, "s").unwrap().with_retention(3);
+        let off = Registry::disabled();
+        for k in 1..=8u64 {
+            w.write(k, &Demo { k, xs: vec![] }, &off).unwrap();
+        }
+        let r = CheckpointReader::new(&dir, "s");
+        assert_eq!(r.steps(), vec![6, 7, 8]);
+        // Retention of 1 is bumped to 2 (fallback guarantee).
+        let w = CheckpointWriter::new(&dir, "s").unwrap().with_retention(1);
+        w.write(9, &Demo { k: 9, xs: vec![] }, &off).unwrap();
+        assert_eq!(r.steps(), vec![8, 9]);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_kind_is_not_restored() {
+        #[derive(Debug)]
+        struct Other;
+        impl Checkpointable for Other {
+            const KIND: &'static str = "quake.ckpt.other.v1";
+            fn encode(&self, _: &mut Encoder) {}
+            fn decode(_: &mut Decoder) -> Result<Other, CkptError> {
+                Ok(Other)
+            }
+        }
+        let dir = tmpdir("kind");
+        let w = CheckpointWriter::new(&dir, "s").unwrap();
+        let off = Registry::disabled();
+        w.write(1, &Demo { k: 1, xs: vec![] }, &off).unwrap();
+        assert!(CheckpointReader::new(&dir, "s").latest_valid::<Other>(&off).is_none());
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

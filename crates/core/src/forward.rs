@@ -1,10 +1,12 @@
 //! Forward basin simulation: model -> mesh -> solve -> seismograms.
 
+use quake_ckpt::{CheckpointPolicy, CheckpointReader, CheckpointWriter, CkptError};
 use quake_mesh::{mesh_from_model, HexMesh, MeshStats, MeshingParams};
 use quake_model::{ExtendedFault, LaBasinModel, MaterialModel};
 use quake_octree::LinearOctree;
 use quake_solver::{assemble_point_sources, ElasticConfig, ElasticSolver, RunResult};
 use quake_telemetry::Registry;
+use std::path::Path;
 
 /// A complete forward-simulation scenario.
 #[derive(Clone, Debug)]
@@ -74,6 +76,64 @@ pub fn run_forward_traced(
     ForwardOutcome { tree, mesh, mesh_stats, receiver_nodes, result }
 }
 
+/// [`run_forward_traced`] with checkpoint/restart: the solve snapshots its
+/// state into `ckpt_dir` every `every_steps` time steps, and if the
+/// directory already holds a valid checkpoint (from an interrupted earlier
+/// invocation) the run resumes from the newest one instead of starting at
+/// step zero. The meshing and assembly stages rerun on resume — they are
+/// deterministic functions of the scenario, so the restored state stays
+/// consistent — and the completed run is **bit-identical** to an
+/// uninterrupted one. Corrupted or truncated checkpoint files are detected
+/// by their CRC and skipped in favor of the previous valid snapshot.
+pub fn run_forward_resumable(
+    model: &impl MaterialModel,
+    scenario: &ForwardScenario,
+    ckpt_dir: &Path,
+    every_steps: u64,
+    reg: &Registry,
+) -> Result<ForwardOutcome, CkptError> {
+    let (tree, mesh) = {
+        let _s = reg.span("forward/mesh");
+        mesh_from_model(&scenario.meshing, model)
+    };
+    let mesh_stats = MeshStats::compute(&mesh);
+    mesh_stats.record(reg);
+    let (solver, sources) = {
+        let _s = reg.span("forward/assemble");
+        let solver = ElasticSolver::new(&mesh, &scenario.solve);
+        let sources = assemble_point_sources(
+            &mesh,
+            &tree,
+            &scenario.fault.discretize(scenario.n_subfaults.0, scenario.n_subfaults.1),
+        );
+        (solver, sources)
+    };
+    let receiver_nodes: Vec<u32> =
+        scenario.receivers.iter().map(|&p| mesh.nearest_node(p)).collect();
+    let writer = CheckpointWriter::new(ckpt_dir, "forward")?;
+    let policy = CheckpointPolicy::every_steps(every_steps);
+    let state = match CheckpointReader::new(ckpt_dir, "forward").latest_valid(reg) {
+        Some((step, state)) => {
+            reg.set("forward/resumed_step", step);
+            state
+        }
+        None => solver.initial_state(receiver_nodes.len(), None),
+    };
+    let result = {
+        let _s = reg.span("forward/solve");
+        let mut ws = if reg.is_enabled() {
+            solver.workspace_instrumented(reg.rank())
+        } else {
+            solver.workspace()
+        };
+        let (result, _) =
+            solver.run_from(&sources, &receiver_nodes, state, &mut ws, Some((&writer, &policy)))?;
+        reg.absorb(&ws.into_registry());
+        result
+    };
+    Ok(ForwardOutcome { tree, mesh, mesh_stats, receiver_nodes, result })
+}
+
 /// A Northridge-like scenario scaled into a cube of edge `extent` meters,
 /// resolving `fmax` Hz down to `vs_min` m/s sediments, with `n_receivers`
 /// stations along the surface diagonal.
@@ -127,6 +187,42 @@ mod tests {
         for &nd in &out.receiver_nodes {
             assert_eq!(out.mesh.grid_coords[nd as usize][2], 0);
         }
+    }
+
+    #[test]
+    fn resumable_forward_run_matches_plain_run_bitwise() {
+        let (model, mut scenario) = northridge_scenario(8_000.0, 0.4, 400.0, 2.0, 2);
+        scenario.meshing.min_level = 2;
+        scenario.meshing.max_level = 5;
+        let plain = run_forward(&model, &scenario);
+
+        let dir = std::env::temp_dir()
+            .join("quake-core-tests")
+            .join(format!("fwd-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Leg 1: interrupted halfway — run a truncated scenario that
+        // checkpoints, leaving snapshots behind.
+        let half_steps = plain.result.n_steps / 2;
+        let mut short = scenario.clone();
+        short.solve.duration = plain.result.dt * half_steps as f64 - plain.result.dt * 0.5;
+        let reg = Registry::new(0);
+        let partial = run_forward_resumable(&model, &short, &dir, 3, &reg).unwrap();
+        assert!(partial.result.n_steps < plain.result.n_steps);
+        assert!(CheckpointReader::new(&dir, "forward").steps().last().is_some());
+
+        // Leg 2: the full scenario resumes from the newest snapshot.
+        let reg2 = Registry::new(0);
+        let resumed = run_forward_resumable(&model, &scenario, &dir, 3, &reg2).unwrap();
+        assert!(reg2.counter("forward/resumed_step").unwrap() > 0);
+        assert_eq!(resumed.result.n_steps, plain.result.n_steps);
+        for (a, b) in resumed.result.seismograms.iter().zip(&plain.result.seismograms) {
+            assert_eq!(a.data.len(), b.data.len());
+            for (x, y) in a.data.iter().zip(&b.data) {
+                assert_eq!(x.to_bits(), y.to_bits(), "resume changed the waveform");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

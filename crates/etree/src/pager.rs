@@ -191,6 +191,11 @@ impl Pager {
         Ok(())
     }
 
+    /// Number of dirty (cached, not yet written back) pages.
+    pub fn dirty_pages(&self) -> usize {
+        self.cache.values().filter(|p| p.dirty).count()
+    }
+
     /// Write all dirty pages to disk (cache contents are kept).
     pub fn flush(&mut self) -> io::Result<()> {
         // Ensure the file is long enough even if tail pages are clean zeros.
@@ -210,6 +215,13 @@ impl Pager {
     }
 }
 
+/// Dropping a pager flushes every dirty page, so a database closed by simply
+/// going out of scope is complete on disk — the property the checkpoint
+/// subsystem's kill-and-restart tests rely on when they reopen an etree
+/// between runs. The one caveat of the RAII form: `drop` cannot report I/O
+/// errors, so code that must *know* the data is durable (rather than merely
+/// request it) calls [`Pager::flush`] explicitly first and checks the result;
+/// after a successful flush the drop is a no-op write-wise.
 impl Drop for Pager {
     fn drop(&mut self) {
         let _ = self.flush();
@@ -267,6 +279,29 @@ mod tests {
         assert_eq!(pager.page_count(), 10);
         for i in 0..10u32 {
             assert_eq!(pager.read(i).unwrap()[7], 100 + i as u8);
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn drop_without_explicit_flush_persists_dirty_pages() {
+        let path = tmp("drop-flush");
+        {
+            let mut pager = Pager::create(&path, 8).unwrap();
+            for i in 0..6u32 {
+                let id = pager.allocate().unwrap();
+                let mut page = Box::new([0u8; PAGE_SIZE]);
+                page[11] = 50 + i as u8;
+                pager.write(id, page).unwrap();
+            }
+            assert!(pager.dirty_pages() > 0);
+            // No flush() — the Drop impl must write the dirty pages back.
+        }
+        let mut pager = Pager::open(&path, 8).unwrap();
+        assert_eq!(pager.page_count(), 6);
+        assert_eq!(pager.dirty_pages(), 0);
+        for i in 0..6u32 {
+            assert_eq!(pager.read(i).unwrap()[11], 50 + i as u8);
         }
         std::fs::remove_file(path).unwrap();
     }

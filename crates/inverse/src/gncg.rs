@@ -15,9 +15,11 @@
 //! Armijo backtracking line search guarantees global convergence and a
 //! logarithmic barrier keeps the moduli positive (Section 3.1).
 
+use crate::checkpoint::GnCheckpoint;
 use crate::matmap::MaterialMap;
 use crate::misfit::{misfit_value, residuals};
 use crate::regularization::TvReg;
+use quake_ckpt::{CheckpointWriter, CkptError};
 use quake_solver::wave::{adjoint, forward, material_gradient, ScalarWaveEq};
 use quake_telemetry::Registry;
 use std::collections::VecDeque;
@@ -102,6 +104,13 @@ impl Lbfgs {
             self.pairs.pop_front();
         }
         self.pairs.push_back((s, y, 1.0 / sy));
+    }
+
+    /// The stored secant pairs `(s, y)` in insertion order (for
+    /// checkpointing; `rho` is an invariant of the pair and is recomputed by
+    /// [`Lbfgs::push`] on rebuild).
+    pub fn pairs_cloned(&self) -> Vec<(Vec<f64>, Vec<f64>)> {
+        self.pairs.iter().map(|(s, y, _)| (s.clone(), y.clone())).collect()
     }
 
     /// `H^{-1} r` approximation by the two-loop recursion.
@@ -258,17 +267,52 @@ pub fn invert_material_traced(
     cfg: &GnConfig,
     reg: &Registry,
 ) -> (Vec<f64>, GnStats) {
-    assert_eq!(m0.len(), map.n_param());
-    let mut m = m0.to_vec();
-    let mut stats = GnStats::default();
-    let mut precond = Lbfgs::new(cfg.lbfgs_memory);
+    // Without a checkpoint writer the resumable driver cannot fail.
+    invert_material_resumable(eq, forcing, data, map, tv, m0, cfg, reg, None, None).unwrap()
+}
 
-    // Scale the barrier relative to the initial data misfit so the setting
-    // is unit-free.
-    let jd0 = {
-        let mu = map.interpolate(&m);
-        let run = forward(eq, &mu, &mut |k, f| forcing(k, f), false);
-        misfit_value(&run.traces, data, eq.dt())
+/// [`invert_material_traced`] with checkpoint/restart: pass `resume` to
+/// continue from a [`GnCheckpoint`] (the inversion is then **bit-identical**
+/// to one that never stopped — the checkpoint carries the iterate, the
+/// L-BFGS pairs, the statistics, and the run-scaling scalars `jd0` and
+/// `g0_norm`), and `ckpt = (writer, every_iters)` to persist a checkpoint
+/// after every `every_iters` accepted outer iterations.
+#[allow(clippy::too_many_arguments)]
+pub fn invert_material_resumable(
+    eq: &dyn ScalarWaveEq,
+    forcing: &(dyn Fn(usize, &mut [f64]) + Sync),
+    data: &[Vec<f64>],
+    map: &MaterialMap,
+    tv: &TvReg,
+    m0: &[f64],
+    cfg: &GnConfig,
+    reg: &Registry,
+    resume: Option<GnCheckpoint>,
+    ckpt: Option<(&CheckpointWriter, u64)>,
+) -> Result<(Vec<f64>, GnStats), CkptError> {
+    if let Some((_, every)) = ckpt {
+        assert!(every > 0, "checkpoint cadence must be positive");
+    }
+    let (mut m, mut stats, mut precond, mut g0_norm, jd0, start_iter) = match resume {
+        Some(c) => {
+            assert_eq!(c.m.len(), map.n_param(), "checkpoint is for a different grid");
+            let mut precond = Lbfgs::new(cfg.lbfgs_memory);
+            for (s, y) in c.lbfgs_pairs {
+                precond.push(s, y);
+            }
+            (c.m, c.stats, precond, c.g0_norm, c.jd0, c.next_iter as usize)
+        }
+        None => {
+            assert_eq!(m0.len(), map.n_param());
+            // Scale the barrier relative to the initial data misfit so the
+            // setting is unit-free.
+            let jd0 = {
+                let mu = map.interpolate(m0);
+                let run = forward(eq, &mu, &mut |k, f| forcing(k, f), false);
+                misfit_value(&run.traces, data, eq.dt())
+            };
+            (m0.to_vec(), GnStats::default(), Lbfgs::new(cfg.lbfgs_memory), None, jd0, 0)
+        }
     };
     let barrier = cfg.barrier.map(|(m_min, w)| (m_min, w * jd0.max(1e-300)));
 
@@ -285,8 +329,7 @@ pub fn invert_material_traced(
         misfit_value(&run.traces, data, eq.dt()) + tv.value(m) + bar
     };
 
-    let mut g0_norm = None;
-    for it in 0..cfg.max_gn_iters {
+    for it in start_iter..cfg.max_gn_iters {
         // Forward + adjoint: objective and gradient.
         let mu = map.interpolate(&m);
         let run = {
@@ -409,8 +452,21 @@ pub fn invert_material_traced(
             // Stuck: can't descend along any available direction.
             break;
         }
+        if let Some((writer, every)) = ckpt {
+            if ((it + 1) as u64).is_multiple_of(every) {
+                let snap = GnCheckpoint {
+                    next_iter: (it + 1) as u64,
+                    m: m.clone(),
+                    lbfgs_pairs: precond.pairs_cloned(),
+                    stats: stats.clone(),
+                    g0_norm,
+                    jd0,
+                };
+                writer.write(snap.next_iter, &snap, reg)?;
+            }
+        }
     }
-    (m, stats)
+    Ok((m, stats))
 }
 
 #[cfg(test)]
@@ -500,7 +556,7 @@ mod tests {
         let forcing = forcing_fn(40);
         let run = forward(&s, &mu, &mut |k, f| forcing(k, f), true);
         let diffus = tv.diffusivity(&m);
-        let mut hess = |v: &[f64]| -> Vec<f64> {
+        let hess = |v: &[f64]| -> Vec<f64> {
             let dmu = map.interpolate(v);
             let inc =
                 forward(&s, &mu, &mut |k, f| s.apply_dk(&dmu, &run.states[k], f, -1.0), false);
@@ -596,6 +652,85 @@ mod tests {
         // Tracing must not perturb the optimization.
         let (m_plain, _) = invert_material(&s, &forcing, &data, &map, &tv, &m0, &cfg);
         assert_eq!(m_traced, m_plain);
+    }
+
+    #[test]
+    fn checkpointed_inversion_resumes_bit_identically() {
+        use quake_ckpt::{CheckpointReader, CheckpointWriter};
+        let s = solver();
+        let dims = [4, 3, 1];
+        let map = MaterialMap::new(&centers(&s), [6000.0, 4000.0, 1.0], dims);
+        let base = 2200.0 * 2000.0f64.powi(2);
+        let mut m_true = vec![base; map.n_param()];
+        m_true[5] = base * 1.2;
+        m_true[6] = base * 0.85;
+        let forcing = forcing_fn(40);
+        let data = forward(&s, &map.interpolate(&m_true), &mut |k, f| forcing(k, f), false).traces;
+        let tv =
+            TvReg { dims, spacing: [2000.0, 2000.0, 1.0], eps: 0.01 * base / 2000.0, beta: 1e-26 };
+        let m0 = vec![base; map.n_param()];
+        // Barrier + preconditioner on, so the checkpoint must carry jd0,
+        // g0_norm, AND the L-BFGS pairs to reproduce the straight run.
+        let cfg = GnConfig {
+            max_gn_iters: 4,
+            grad_tol: 1e-12,
+            barrier: Some((0.1 * base, 1e-6)),
+            ..GnConfig::default()
+        };
+        let reg = Registry::disabled();
+
+        let (m_straight, st_straight) = invert_material(&s, &forcing, &data, &map, &tv, &m0, &cfg);
+
+        let dir = std::env::temp_dir()
+            .join("quake-inverse-tests")
+            .join(format!("gn-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = CheckpointWriter::new(&dir, "gncg").unwrap();
+        // Leg 1: stop after 2 outer iterations, checkpointing every one.
+        let cfg_half = GnConfig { max_gn_iters: 2, ..cfg.clone() };
+        let (_, st_half) = invert_material_resumable(
+            &s,
+            &forcing,
+            &data,
+            &map,
+            &tv,
+            &m0,
+            &cfg_half,
+            &reg,
+            None,
+            Some((&writer, 1)),
+        )
+        .unwrap();
+        assert_eq!(st_half.gn_iters, 2);
+
+        // Leg 2: restore from disk and run the remaining iterations.
+        let reader = CheckpointReader::new(&dir, "gncg");
+        let (step, snap): (u64, GnCheckpoint) = reader.latest_valid(&reg).unwrap();
+        assert_eq!(step, 2);
+        assert!(!snap.lbfgs_pairs.is_empty(), "CG must have harvested secant pairs");
+        let (m_resumed, st_resumed) = invert_material_resumable(
+            &s,
+            &forcing,
+            &data,
+            &map,
+            &tv,
+            &m0,
+            &cfg,
+            &reg,
+            Some(snap),
+            None,
+        )
+        .unwrap();
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&m_straight), bits(&m_resumed), "iterates diverged across resume");
+        assert_eq!(st_straight.gn_iters, st_resumed.gn_iters);
+        assert_eq!(st_straight.cg_iters_per_gn, st_resumed.cg_iters_per_gn);
+        assert_eq!(bits(&st_straight.objective_history), bits(&st_resumed.objective_history));
+        assert_eq!(bits(&st_straight.misfit_history), bits(&st_resumed.misfit_history));
+        assert_eq!(bits(&st_straight.grad_norms), bits(&st_resumed.grad_norms));
+        assert_eq!(st_straight.converged, st_resumed.converged);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

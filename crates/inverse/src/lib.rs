@@ -26,6 +26,7 @@
 //! - [`source`]: Gauss-Newton inversion for the fault's delay-time,
 //!   rise-time and amplitude fields (Fig 3.3).
 
+pub mod checkpoint;
 pub mod frankel;
 pub mod gncg;
 pub mod matmap;
@@ -34,7 +35,10 @@ pub mod multiscale;
 pub mod regularization;
 pub mod source;
 
-pub use gncg::{invert_material, invert_material_traced, GnConfig, GnStats};
+pub use checkpoint::GnCheckpoint;
+pub use gncg::{
+    invert_material, invert_material_resumable, invert_material_traced, GnConfig, GnStats,
+};
 pub use matmap::MaterialMap;
 pub use misfit::{add_noise, misfit_value, residuals};
 pub use multiscale::{invert_multiscale, LevelResult, MultiscaleConfig};

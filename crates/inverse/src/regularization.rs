@@ -245,7 +245,7 @@ mod tests {
         }
         // Nullspace: constants.
         let mut gc = vec![0.0; 6];
-        tik.gradient(&vec![9.0; 6], &mut gc);
+        tik.gradient(&[9.0; 6], &mut gc);
         assert!(gc.iter().all(|&v| v.abs() < 1e-12));
     }
 }

@@ -1,0 +1,127 @@
+//! Fault injection for SPMD runs.
+//!
+//! A [`FaultPlan`] scripts failures into a run the way a chaos harness
+//! would: *kill rank R at step S* (the rank exits its step loop, dropping
+//! its channel endpoints — peers subsequently observe
+//! [`CommError::RankFailure`](crate::CommError::RankFailure) instead of
+//! data), *delay an exchange* (the rank sleeps before communicating,
+//! modeling a slow PE — results must be unchanged), or *drop an exchange*
+//! (the rank skips one step's exchange entirely; with step-tagged exchanges
+//! its peers detect the skew as a
+//! [`CommError::Protocol`](crate::CommError::Protocol) mismatch instead of
+//! silently absorbing stale data).
+//!
+//! The plan itself is pure data — consumers (the distributed solver's
+//! recovery loop, the `bench_recover` binary) query it per `(rank, step)`
+//! and act. Injection is a *test-time* capability: an empty plan is the
+//! production configuration and costs three `Vec::is_empty` checks per step.
+
+/// One scripted fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Rank exits its step loop before executing `step` (peers see its
+    /// channels disconnect).
+    Kill { rank: usize, step: u64 },
+    /// Rank sleeps `millis` before the exchange of `step` (a slow PE;
+    /// correctness must be unaffected).
+    DelayExchange { rank: usize, step: u64, millis: u64 },
+    /// Rank skips the exchange of `step` entirely (detected by peers via
+    /// step-tag mismatch on the *next* exchange).
+    DropExchange { rank: usize, step: u64 },
+}
+
+/// A scripted set of faults for one SPMD run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty (production) plan.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Plan with a single rank kill.
+    pub fn kill(rank: usize, step: u64) -> FaultPlan {
+        FaultPlan::none().and(Fault::Kill { rank, step })
+    }
+
+    /// Add a fault (builder style).
+    pub fn and(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Does `rank` die before executing `step`?
+    pub fn should_kill(&self, rank: usize, step: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::Kill { rank: r, step: s } if *r == rank && *s == step))
+    }
+
+    /// Milliseconds of injected delay before the exchange of `step` on
+    /// `rank` (sums if several delays are scripted).
+    pub fn exchange_delay_ms(&self, rank: usize, step: u64) -> u64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::DelayExchange { rank: r, step: s, millis } if *r == rank && *s == step => {
+                    Some(*millis)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Does `rank` drop the exchange of `step`?
+    pub fn drops_exchange(&self, rank: usize, step: u64) -> bool {
+        self.faults.iter().any(
+            |f| matches!(f, Fault::DropExchange { rank: r, step: s } if *r == rank && *s == step),
+        )
+    }
+
+    /// The earliest scripted kill step of any rank, if one exists (used by
+    /// supervisors to sanity-check that checkpoints precede the fault).
+    pub fn first_kill_step(&self) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Kill { step, .. } => Some(*step),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_queries_match_scripted_faults() {
+        let plan = FaultPlan::kill(2, 10)
+            .and(Fault::DelayExchange { rank: 1, step: 4, millis: 3 })
+            .and(Fault::DelayExchange { rank: 1, step: 4, millis: 2 })
+            .and(Fault::DropExchange { rank: 0, step: 7 });
+        assert!(plan.should_kill(2, 10));
+        assert!(!plan.should_kill(2, 9));
+        assert!(!plan.should_kill(1, 10));
+        assert_eq!(plan.exchange_delay_ms(1, 4), 5);
+        assert_eq!(plan.exchange_delay_ms(1, 5), 0);
+        assert!(plan.drops_exchange(0, 7));
+        assert!(!plan.drops_exchange(0, 8));
+        assert_eq!(plan.first_kill_step(), Some(10));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none().first_kill_step(), None);
+    }
+}

@@ -15,9 +15,62 @@
 //!
 //! Correctness (data movement, ordering, determinism) is real; *timing* of a
 //! 3000-PE machine is the job of `quake-machine`.
+//!
+//! # Failure semantics
+//!
+//! Every blocking primitive has a `try_*` twin returning
+//! `Result<_, CommError>`: a peer that exits (voluntarily or through an
+//! injected fault, see [`fault`]) drops its channel endpoints, and the next
+//! operation against it observes [`CommError::RankFailure`] instead of data.
+//! Because a rank that stops — for any reason — always drops its
+//! `Communicator`, **no blocking receive can hang forever**: it either gets
+//! a message or a disconnect. The panicking methods ([`Communicator::send`],
+//! [`Communicator::recv`], the collectives) are thin wrappers over the
+//! `try_*` forms, so pre-existing call sites keep their fail-stop behavior
+//! unchanged while fault-tolerant callers (the distributed solver's
+//! checkpoint/recovery supervisor) switch to the `Result` forms.
+
+pub mod fault;
+
+pub use fault::{Fault, FaultPlan};
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
+
+/// A communication failure observed by one rank. The fabric is deterministic
+/// (fixed protocols, per-pair FIFO channels), so each variant pinpoints a
+/// real event: a peer that went away, or a protocol skew such as a dropped
+/// exchange shifting the step tags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer's channel endpoints are gone: it exited, was killed by a
+    /// fault plan, or aborted its own step loop.
+    RankFailure { peer: usize },
+    /// A message arrived with the wrong tag — the deterministic protocols
+    /// make this a desynchronization (e.g. a peer skipped an exchange).
+    Protocol { peer: usize, expected: u64, got: u64 },
+    /// A payload had the wrong length for the agreed exchange plan.
+    SizeMismatch { peer: usize, expected: usize, got: usize },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RankFailure { peer } => write!(f, "rank {peer} failed (peer rank hung up)"),
+            CommError::Protocol { peer, expected, got } => {
+                write!(
+                    f,
+                    "protocol mismatch with rank {peer}: expected tag {expected:#x}, got {got:#x}"
+                )
+            }
+            CommError::SizeMismatch { peer, expected, got } => {
+                write!(f, "size mismatch from rank {peer}: expected {expected} doubles, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// A message between ranks: a tag plus a payload of doubles.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,18 +100,37 @@ impl Communicator {
     }
 
     /// Send `data` to `to` with a tag (non-blocking; channels are unbounded).
-    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+    /// Returns [`CommError::RankFailure`] if the destination has exited.
+    pub fn try_send(&self, to: usize, tag: u64, data: Vec<f64>) -> Result<(), CommError> {
         assert!(to < self.size && to != self.rank, "invalid destination {to}");
-        self.senders[to].send(Message { tag, data }).expect("peer rank hung up");
+        self.senders[to]
+            .send(Message { tag, data })
+            .map_err(|_| CommError::RankFailure { peer: to })
     }
 
-    /// Blocking receive of the next message from `from`; panics on tag
+    /// Blocking receive of the next message from `from`. Returns
+    /// [`CommError::RankFailure`] if the peer exits before sending and
+    /// [`CommError::Protocol`] on a tag mismatch. Never hangs forever: a
+    /// stopped peer always disconnects its channels.
+    pub fn try_recv(&self, from: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        assert!(from < self.size && from != self.rank, "invalid source {from}");
+        let msg = self.receivers[from].recv().map_err(|_| CommError::RankFailure { peer: from })?;
+        if msg.tag != tag {
+            return Err(CommError::Protocol { peer: from, expected: tag, got: msg.tag });
+        }
+        Ok(msg.data)
+    }
+
+    /// Fail-stop [`Communicator::try_send`] (the original API; a dead peer
+    /// is a bug for callers that opted out of recovery).
+    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+        self.try_send(to, tag, data).expect("peer rank hung up");
+    }
+
+    /// Fail-stop [`Communicator::try_recv`]; panics on failure or tag
     /// mismatch (our protocols are deterministic, so a mismatch is a bug).
     pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
-        assert!(from < self.size && from != self.rank, "invalid source {from}");
-        let msg = self.receivers[from].recv().expect("peer rank hung up");
-        assert_eq!(msg.tag, tag, "protocol mismatch: expected tag {tag}, got {}", msg.tag);
-        msg.data
+        self.try_recv(from, tag).expect("peer rank hung up")
     }
 
     /// Synchronize all ranks.
@@ -66,81 +138,93 @@ impl Communicator {
         self.barrier.wait();
     }
 
-    /// Elementwise global sum of `x` across ranks (gather at 0, broadcast).
+    /// Elementwise global sum of `x` across ranks (gather at 0, broadcast);
+    /// `Result`-based — a dead rank anywhere surfaces as an error on every
+    /// survivor instead of a panic.
+    pub fn try_allreduce_sum(&self, x: &mut [f64]) -> Result<(), CommError> {
+        self.try_allreduce_elems_tagged(x, |a, b| a + b, 0xA11)
+    }
+
+    /// Fail-stop [`Communicator::try_allreduce_sum`].
     pub fn allreduce_sum(&self, x: &mut [f64]) {
-        const TAG: u64 = 0xA11;
-        if self.size == 1 {
-            return;
-        }
-        if self.rank == 0 {
-            for r in 1..self.size {
-                let part = self.recv(r, TAG);
-                assert_eq!(part.len(), x.len());
-                for (a, b) in x.iter_mut().zip(&part) {
-                    *a += b;
-                }
-            }
-            for r in 1..self.size {
-                self.send(r, TAG + 1, x.to_vec());
-            }
-        } else {
-            self.send(0, TAG, x.to_vec());
-            let total = self.recv(0, TAG + 1);
-            x.copy_from_slice(&total);
-        }
+        self.try_allreduce_sum(x).expect("peer rank hung up");
     }
 
     /// Elementwise global max of `x` across ranks (gather at 0, broadcast).
     pub fn allreduce_max_elems(&self, x: &mut [f64]) {
-        self.allreduce_elems(x, f64::max, 0xC33)
+        self.try_allreduce_elems_tagged(x, f64::max, 0xC33).expect("peer rank hung up");
     }
 
     /// Elementwise global min of `x` across ranks (gather at 0, broadcast).
     pub fn allreduce_min_elems(&self, x: &mut [f64]) {
-        self.allreduce_elems(x, f64::min, 0xC44)
+        self.try_allreduce_elems_tagged(x, f64::min, 0xC44).expect("peer rank hung up");
     }
 
-    fn allreduce_elems(&self, x: &mut [f64], op: impl Fn(f64, f64) -> f64, tag: u64) {
+    fn try_allreduce_elems_tagged(
+        &self,
+        x: &mut [f64],
+        op: impl Fn(f64, f64) -> f64,
+        tag: u64,
+    ) -> Result<(), CommError> {
         if self.size == 1 {
-            return;
+            return Ok(());
         }
         if self.rank == 0 {
             for r in 1..self.size {
-                let part = self.recv(r, tag);
-                assert_eq!(part.len(), x.len());
+                let part = self.try_recv(r, tag)?;
+                if part.len() != x.len() {
+                    return Err(CommError::SizeMismatch {
+                        peer: r,
+                        expected: x.len(),
+                        got: part.len(),
+                    });
+                }
                 for (a, b) in x.iter_mut().zip(&part) {
                     *a = op(*a, *b);
                 }
             }
             for r in 1..self.size {
-                self.send(r, tag + 1, x.to_vec());
+                self.try_send(r, tag + 1, x.to_vec())?;
             }
         } else {
-            self.send(0, tag, x.to_vec());
-            let total = self.recv(0, tag + 1);
+            self.try_send(0, tag, x.to_vec())?;
+            let total = self.try_recv(0, tag + 1)?;
+            if total.len() != x.len() {
+                return Err(CommError::SizeMismatch {
+                    peer: 0,
+                    expected: x.len(),
+                    got: total.len(),
+                });
+            }
             x.copy_from_slice(&total);
         }
+        Ok(())
     }
 
-    /// Global max reduction of a scalar.
-    pub fn allreduce_max(&self, v: f64) -> f64 {
+    /// Global max reduction of a scalar; `Result`-based.
+    pub fn try_allreduce_max(&self, v: f64) -> Result<f64, CommError> {
         const TAG: u64 = 0xB22;
         if self.size == 1 {
-            return v;
+            return Ok(v);
         }
         if self.rank == 0 {
             let mut m = v;
             for r in 1..self.size {
-                m = m.max(self.recv(r, TAG)[0]);
+                m = m.max(self.try_recv(r, TAG)?[0]);
             }
             for r in 1..self.size {
-                self.send(r, TAG + 1, vec![m]);
+                self.try_send(r, TAG + 1, vec![m])?;
             }
-            m
+            Ok(m)
         } else {
-            self.send(0, TAG, vec![v]);
-            self.recv(0, TAG + 1)[0]
+            self.try_send(0, TAG, vec![v])?;
+            Ok(self.try_recv(0, TAG + 1)?[0])
         }
+    }
+
+    /// Fail-stop [`Communicator::try_allreduce_max`].
+    pub fn allreduce_max(&self, v: f64) -> f64 {
+        self.try_allreduce_max(v).expect("peer rank hung up")
     }
 
     /// Sum-exchange shared entries with neighbor ranks.
@@ -149,9 +233,22 @@ impl Communicator {
     /// *identical* index lists (as produced by `quake_mesh::ExchangePlan`).
     /// For each neighbor, the values of `data` at the shared indices (ncomp
     /// per index) are sent; received contributions are added in place. Sends
-    /// all go out before any receive, so the exchange cannot deadlock.
-    pub fn exchange_sum(&self, neighbors: &[(usize, Vec<u32>)], data: &mut [f64], ncomp: usize) {
-        const TAG: u64 = 0xE0;
+    /// all go out before any receive, so the exchange cannot deadlock — an
+    /// *asymmetric* neighbor list (a rank listed us but we did not list it)
+    /// therefore surfaces as a [`CommError`] when the forgotten rank's
+    /// blocking receive observes our exit, never as a hang.
+    ///
+    /// `tag` distinguishes exchange generations. The recoverable distributed
+    /// solver tags each time step's exchange with the step index, so a peer
+    /// that skipped an exchange (see [`Fault::DropExchange`]) is detected as
+    /// [`CommError::Protocol`] skew rather than silently summing stale data.
+    pub fn try_exchange_sum(
+        &self,
+        neighbors: &[(usize, Vec<u32>)],
+        data: &mut [f64],
+        ncomp: usize,
+        tag: u64,
+    ) -> Result<(), CommError> {
         for (nbr, ids) in neighbors {
             let mut buf = Vec::with_capacity(ids.len() * ncomp);
             for &i in ids {
@@ -159,17 +256,30 @@ impl Communicator {
                     buf.push(data[i as usize * ncomp + c]);
                 }
             }
-            self.send(*nbr, TAG, buf);
+            self.try_send(*nbr, tag, buf)?;
         }
         for (nbr, ids) in neighbors {
-            let buf = self.recv(*nbr, TAG);
-            assert_eq!(buf.len(), ids.len() * ncomp);
+            let buf = self.try_recv(*nbr, tag)?;
+            if buf.len() != ids.len() * ncomp {
+                return Err(CommError::SizeMismatch {
+                    peer: *nbr,
+                    expected: ids.len() * ncomp,
+                    got: buf.len(),
+                });
+            }
             for (k, &i) in ids.iter().enumerate() {
                 for c in 0..ncomp {
                     data[i as usize * ncomp + c] += buf[k * ncomp + c];
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Fail-stop [`Communicator::try_exchange_sum`] at a fixed tag.
+    pub fn exchange_sum(&self, neighbors: &[(usize, Vec<u32>)], data: &mut [f64], ncomp: usize) {
+        const TAG: u64 = 0xE0;
+        self.try_exchange_sum(neighbors, data, ncomp, TAG).expect("peer rank hung up");
     }
 }
 
@@ -323,5 +433,81 @@ mod tests {
             x
         });
         assert_eq!(r[0], vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn exchange_sum_single_rank_no_neighbors_is_identity() {
+        let r = run_spmd(1, |c| {
+            let mut data = vec![1.0, 2.0, 3.0];
+            c.try_exchange_sum(&[], &mut data, 3, 0xE0)?;
+            Ok::<_, CommError>(data)
+        });
+        assert_eq!(r[0].as_ref().unwrap(), &vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn exchange_sum_empty_shared_indices_is_identity() {
+        // Neighbors listed but with zero shared nodes: an empty message each
+        // way, data unchanged, no deadlock.
+        let results = run_spmd(2, |c| {
+            let plan = vec![(1 - c.rank(), Vec::<u32>::new())];
+            let mut data = vec![c.rank() as f64; 4];
+            c.try_exchange_sum(&plan, &mut data, 2, 0xE0)?;
+            Ok::<_, CommError>(data)
+        });
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &vec![rank as f64; 4]);
+        }
+    }
+
+    #[test]
+    fn exchange_sum_asymmetric_neighbor_lists_error_instead_of_deadlocking() {
+        // Rank 0 lists rank 1, but rank 1 lists nobody and exits. Rank 0's
+        // blocking receive must observe the disconnect as RankFailure.
+        let results = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                let plan = vec![(1usize, vec![0u32])];
+                let mut data = vec![5.0];
+                c.try_exchange_sum(&plan, &mut data, 1, 0xE0)
+            } else {
+                Ok(()) // drops its Communicator on return
+            }
+        });
+        assert!(matches!(results[0], Err(CommError::RankFailure { peer: 1 })));
+        assert!(results[1].is_ok());
+    }
+
+    #[test]
+    fn try_recv_reports_tag_skew_as_protocol_error() {
+        let results = run_spmd(2, |c| {
+            if c.rank() == 0 {
+                c.try_send(1, 0xE000_0000 + 3, vec![1.0])?;
+                Ok(Vec::new())
+            } else {
+                c.try_recv(0, 0xE000_0000 + 4)
+            }
+        });
+        match &results[1] {
+            Err(CommError::Protocol { peer, expected, got }) => {
+                assert_eq!((*peer, *expected, *got), (0, 0xE000_0000 + 4, 0xE000_0000 + 3));
+            }
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allreduce_survivors_error_when_a_rank_dies() {
+        // Rank 2 exits before the reduction; every survivor's allreduce must
+        // return RankFailure rather than hang or panic.
+        let results = run_spmd(3, |c| {
+            if c.rank() == 2 {
+                return None;
+            }
+            let mut x = vec![c.rank() as f64];
+            Some(c.try_allreduce_sum(&mut x))
+        });
+        assert!(matches!(results[0], Some(Err(CommError::RankFailure { .. }))));
+        assert!(matches!(results[1], Some(Err(CommError::RankFailure { .. }))));
+        assert!(results[2].is_none());
     }
 }

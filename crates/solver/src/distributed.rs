@@ -7,10 +7,15 @@
 //! the property the scalability experiments of Table 2.1 rest on. Timing of
 //! machines larger than this host is the job of `quake-machine`.
 
-use crate::elastic::ElasticSolver;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::checkpoint::SolverState;
+use crate::elastic::{ElasticSolver, StepScope};
+use quake_ckpt::{CheckpointPolicy, CheckpointReader, CheckpointWriter, CkptError};
 use quake_mesh::{partition_morton, ExchangePlan, HexMesh};
-use quake_parcomm::{run_spmd, Communicator};
-use quake_telemetry::{reduce_across_ranks, Reduced, Snapshot};
+use quake_parcomm::{run_spmd, Communicator, FaultPlan};
+use quake_telemetry::{reduce_across_ranks, Reduced, Registry, Snapshot};
 
 /// Per-rank outcome of a distributed run. A rank's state vectors are valid
 /// (identical to the serial solver) exactly on the nodes its own elements
@@ -53,38 +58,14 @@ pub fn run_distributed_instrumented(
     n_steps: usize,
     telemetry: bool,
 ) -> DistributedRun {
+    let setup = DistSetup::build(solver, n_ranks);
+    let volumes = setup.volumes.clone();
     let mesh: &HexMesh = solver.mesh;
-    let parts = partition_morton(mesh.n_elements(), n_ranks);
-    let plan = ExchangePlan::build(mesh, &parts, n_ranks);
-    let volumes: Vec<usize> = (0..n_ranks).map(|p| plan.exchange_volume(p)).collect();
-
-    let mut per_rank: Vec<Vec<u32>> = vec![Vec::new(); n_ranks];
-    for (e, &p) in parts.iter().enumerate() {
-        per_rank[p as usize].push(e as u32);
-    }
-
-    // Node ownership: the lowest-numbered rank whose elements touch a node
-    // contributes its diagonal damping term.
-    let mut owner = vec![u32::MAX; mesh.n_nodes()];
-    for (e, &p) in parts.iter().enumerate() {
-        for &nd in &mesh.elements[e].nodes {
-            if p < owner[nd as usize] {
-                owner[nd as usize] = p;
-            }
-        }
-    }
-    // Per-rank step schedules (element coloring + boundary faces + owned
-    // mask), built ONCE — the per-step face filtering the old code did is
-    // gone.
-    let scopes: Vec<_> = (0..n_ranks)
-        .map(|r| solver.scope(&per_rank[r], Some(owner.iter().map(|&o| o == r as u32).collect())))
-        .collect();
 
     let results = run_spmd(n_ranks, |comm: &Communicator| {
         let rank = comm.rank();
-        let scope = &scopes[rank];
-        let neighbors: Vec<(usize, Vec<u32>)> =
-            plan.plans[rank].iter().map(|(q, nodes)| (*q as usize, nodes.clone())).collect();
+        let scope = &setup.scopes[rank];
+        let neighbors = setup.neighbors(rank);
         let ndof = 3 * mesh.n_nodes();
         let mut u_prev = vec![0.0; ndof];
         let mut u_now = vec![0.0; ndof];
@@ -140,7 +121,344 @@ pub fn run_distributed_instrumented(
         snapshots.clear();
     }
 
-    DistributedRun { states, elements: per_rank, volumes, snapshots, reduced }
+    DistributedRun { states, elements: setup.per_rank, volumes, snapshots, reduced }
+}
+
+/// The rank decomposition shared by every distributed entry point: Morton
+/// element partition, interface exchange plan, lowest-rank node ownership,
+/// and the per-rank step schedules (built once, reused every step and every
+/// recovery attempt).
+struct DistSetup {
+    per_rank: Vec<Vec<u32>>,
+    scopes: Vec<StepScope>,
+    plan: ExchangePlan,
+    volumes: Vec<usize>,
+}
+
+impl DistSetup {
+    fn build(solver: &ElasticSolver<'_>, n_ranks: usize) -> DistSetup {
+        let mesh: &HexMesh = solver.mesh;
+        let parts = partition_morton(mesh.n_elements(), n_ranks);
+        let plan = ExchangePlan::build(mesh, &parts, n_ranks);
+        let volumes: Vec<usize> = (0..n_ranks).map(|p| plan.exchange_volume(p)).collect();
+
+        let mut per_rank: Vec<Vec<u32>> = vec![Vec::new(); n_ranks];
+        for (e, &p) in parts.iter().enumerate() {
+            per_rank[p as usize].push(e as u32);
+        }
+
+        // Node ownership: the lowest-numbered rank whose elements touch a
+        // node contributes its diagonal damping term.
+        let mut owner = vec![u32::MAX; mesh.n_nodes()];
+        for (e, &p) in parts.iter().enumerate() {
+            for &nd in &mesh.elements[e].nodes {
+                if p < owner[nd as usize] {
+                    owner[nd as usize] = p;
+                }
+            }
+        }
+        // Per-rank step schedules (element coloring + boundary faces + owned
+        // mask), built ONCE — the per-step face filtering the old code did
+        // is gone.
+        let scopes: Vec<StepScope> = (0..n_ranks)
+            .map(|r| {
+                solver.scope(&per_rank[r], Some(owner.iter().map(|&o| o == r as u32).collect()))
+            })
+            .collect();
+        DistSetup { per_rank, scopes, plan, volumes }
+    }
+
+    fn neighbors(&self, rank: usize) -> Vec<(usize, Vec<u32>)> {
+        self.plan.plans[rank].iter().map(|(q, nodes)| (*q as usize, nodes.clone())).collect()
+    }
+}
+
+/// Tag base for step-tagged interface exchanges: the exchange of step `k`
+/// uses tag `STEP_TAG_BASE + k`. A peer that skipped an exchange (injected
+/// [`quake_parcomm::Fault::DropExchange`], or a bug) is detected by its
+/// neighbors as tag skew — a [`quake_parcomm::CommError::Protocol`] error —
+/// on the very next message, instead of silently summing stale data.
+pub const STEP_TAG_BASE: u64 = 0xE000_0000;
+
+/// Configuration of the checkpoint/recovery supervisor.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Directory holding the per-rank checkpoint files (`rank{r}.*.qckpt`).
+    pub ckpt_dir: PathBuf,
+    /// Checkpoint cadence in steps (all ranks checkpoint the same steps, so
+    /// a consistent restore line always exists).
+    pub every_steps: u64,
+    /// Give up after this many attempts (≥ 1; each recovery is one retry).
+    pub max_attempts: usize,
+}
+
+/// How one rank ended one attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RankOutcome {
+    /// Ran to the final step.
+    Finished,
+    /// Killed by the fault plan before executing `step`.
+    Killed { step: u64 },
+    /// Observed a failure (dead peer, protocol skew, checkpoint write
+    /// error) during `step` and exited.
+    Aborted { step: u64, reason: String },
+}
+
+/// Result of a recoverable distributed run.
+pub struct RecoveredRun {
+    /// Per-rank `(u_prev, u_now)` of the final (successful) attempt; valid
+    /// on the nodes each rank's elements touch, as in [`DistributedRun`].
+    pub states: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Elements owned by each rank.
+    pub elements: Vec<Vec<u32>>,
+    /// Attempts executed (1 = no failure).
+    pub attempts: usize,
+    /// Successful restarts from checkpoint (attempts - 1 when finished).
+    pub recoveries: usize,
+    /// Step every rank of the final attempt started from (0 = from scratch).
+    pub restored_step: u64,
+    /// Per-attempt, per-rank outcomes (diagnostics).
+    pub outcomes: Vec<Vec<RankOutcome>>,
+    /// Did the run reach the final step on every rank within
+    /// `max_attempts`?
+    pub finished: bool,
+}
+
+/// Internal per-rank result of one attempt.
+enum RankRun {
+    Finished(SolverState),
+    Killed { step: u64 },
+    Aborted { step: u64, reason: String },
+}
+
+/// Run the distributed elastic solver under the checkpoint/recovery
+/// supervisor, optionally injecting scripted faults (first attempt only).
+///
+/// Each rank advances its leapfrog state with **step-tagged** interface
+/// exchanges and writes a per-rank checkpoint every
+/// [`RecoveryConfig::every_steps`] steps. There is **no barrier in the step
+/// loop** — a dead rank must not be able to hang survivors — so failure
+/// propagates through the communication fabric itself: a rank that stops for
+/// any reason drops its channel endpoints, every neighbor's next exchange
+/// observes `RankFailure` (or `Protocol` skew) and aborts, and the cascade
+/// reaches every connected rank. `run_spmd`'s thread join is the survivor
+/// barrier. The supervisor then computes the **restore line** — the highest
+/// step at which *every* rank has a checksum-valid checkpoint (corrupt or
+/// truncated files are skipped per rank) — reloads all ranks there, and
+/// relaunches. Faults are injected on the first attempt only, so a retry is
+/// clean; a rank that *dropped* an exchange is tainted and stops
+/// checkpointing, keeping corrupt state off disk.
+///
+/// The final states are bit-identical to an unfaulted run: restore is exact
+/// (raw `f64` bit patterns) and the element sweep order is deterministic.
+///
+/// `reg` receives supervisor telemetry: `recover/attempts`,
+/// `recover/recoveries`, `recover/restored_step` counters, a `ckpt_restore`
+/// span per reloaded rank, and one NDJSON `recover_attempt` event per
+/// attempt.
+pub fn run_distributed_recoverable(
+    solver: &ElasticSolver<'_>,
+    n_ranks: usize,
+    initial: Option<(&[f64], &[f64])>,
+    n_steps: usize,
+    cfg: &RecoveryConfig,
+    faults: &FaultPlan,
+    reg: &Registry,
+) -> Result<RecoveredRun, CkptError> {
+    assert!(cfg.every_steps > 0, "checkpoint cadence must be positive");
+    assert!(cfg.max_attempts >= 1);
+    let setup = DistSetup::build(solver, n_ranks);
+    let mesh: &HexMesh = solver.mesh;
+    let ndof = 3 * mesh.n_nodes();
+    let policy = CheckpointPolicy::every_steps(cfg.every_steps);
+
+    let writers: Vec<CheckpointWriter> = (0..n_ranks)
+        .map(|r| CheckpointWriter::new(&cfg.ckpt_dir, &format!("rank{r}")))
+        .collect::<Result<_, _>>()?;
+
+    let fresh = || {
+        let mut u_prev = vec![0.0; ndof];
+        let mut u_now = vec![0.0; ndof];
+        if let Some((u0, v0)) = initial {
+            u_now.copy_from_slice(u0);
+            for d in 0..ndof {
+                u_prev[d] = u0[d] - solver.dt * v0[d];
+            }
+        }
+        SolverState { step: 0, u_prev, u_now, seismograms: Vec::new() }
+    };
+
+    let mut outcomes: Vec<Vec<RankOutcome>> = Vec::new();
+    let mut restored_step = 0u64;
+    for attempt in 0..cfg.max_attempts {
+        let recoveries = attempt; // every attempt past the first is a restart
+                                  // Restore line: the highest step where ALL ranks hold a valid
+                                  // checkpoint; from scratch if there is none. States are decoded
+                                  // serially here (the supervisor survives rank deaths by
+                                  // construction) and moved into the rank closures via take-once
+                                  // slots.
+        let (start_step, states) = match restore_line(&cfg.ckpt_dir, n_ranks, reg) {
+            Some((s, states)) => (s, states),
+            None => (0, (0..n_ranks).map(|_| fresh()).collect()),
+        };
+        restored_step = start_step;
+        let slots: Vec<Mutex<Option<SolverState>>> =
+            states.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let inject = attempt == 0 && !faults.is_empty();
+        let no_faults = FaultPlan::default();
+
+        let runs = run_spmd(n_ranks, |comm: &Communicator| {
+            let rank = comm.rank();
+            let state = slots[rank].lock().unwrap().take().expect("state slot taken twice");
+            run_rank_recoverable(
+                solver,
+                &setup,
+                comm,
+                state,
+                n_steps as u64,
+                &writers[rank],
+                &policy,
+                if inject { faults } else { &no_faults },
+            )
+        });
+
+        let finished = runs.iter().all(|r| matches!(r, RankRun::Finished(_)));
+        outcomes.push(
+            runs.iter()
+                .map(|r| match r {
+                    RankRun::Finished(_) => RankOutcome::Finished,
+                    RankRun::Killed { step } => RankOutcome::Killed { step: *step },
+                    RankRun::Aborted { step, reason } => {
+                        RankOutcome::Aborted { step: *step, reason: reason.clone() }
+                    }
+                })
+                .collect(),
+        );
+        reg.event(
+            "recover_attempt",
+            &[
+                ("attempt", attempt as f64),
+                ("restored_step", start_step as f64),
+                ("finished", if finished { 1.0 } else { 0.0 }),
+            ],
+        );
+        if finished {
+            reg.set("recover/attempts", (attempt + 1) as u64);
+            reg.set("recover/recoveries", recoveries as u64);
+            reg.set("recover/restored_step", restored_step);
+            let states = runs
+                .into_iter()
+                .map(|r| match r {
+                    RankRun::Finished(s) => (s.u_prev, s.u_now),
+                    _ => unreachable!(),
+                })
+                .collect();
+            return Ok(RecoveredRun {
+                states,
+                elements: setup.per_rank,
+                attempts: attempt + 1,
+                recoveries,
+                restored_step,
+                outcomes,
+                finished: true,
+            });
+        }
+    }
+    reg.set("recover/attempts", cfg.max_attempts as u64);
+    reg.set("recover/recoveries", (cfg.max_attempts - 1) as u64);
+    Ok(RecoveredRun {
+        states: Vec::new(),
+        elements: setup.per_rank,
+        attempts: cfg.max_attempts,
+        recoveries: cfg.max_attempts - 1,
+        restored_step,
+        outcomes,
+        finished: false,
+    })
+}
+
+/// One rank's recoverable step loop (no barriers; see
+/// [`run_distributed_recoverable`] for the liveness argument).
+#[allow(clippy::too_many_arguments)]
+fn run_rank_recoverable(
+    solver: &ElasticSolver<'_>,
+    setup: &DistSetup,
+    comm: &Communicator,
+    mut state: SolverState,
+    n_steps: u64,
+    writer: &CheckpointWriter,
+    policy: &CheckpointPolicy,
+    faults: &FaultPlan,
+) -> RankRun {
+    let rank = comm.rank();
+    let scope = &setup.scopes[rank];
+    let neighbors = setup.neighbors(rank);
+    let ndof = state.u_now.len();
+    let mut u_next = vec![0.0; ndof];
+    let f = vec![0.0; ndof];
+    let mut ws = solver.workspace();
+    let ticker = policy.ticker();
+    // A rank that dropped an exchange holds silently wrong fields from that
+    // step on: stop persisting them (peers abort on the tag skew and the
+    // supervisor restores everyone from the pre-fault line).
+    let mut tainted = false;
+    for k in state.step..n_steps {
+        if faults.should_kill(rank, k) {
+            return RankRun::Killed { step: k };
+        }
+        let mut comm_err = None;
+        solver.step_scoped(scope, &state.u_prev, &state.u_now, &f, &mut u_next, &mut ws, |rhs| {
+            if faults.drops_exchange(rank, k) {
+                tainted = true;
+                return;
+            }
+            let delay = faults.exchange_delay_ms(rank, k);
+            if delay > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+            }
+            if let Err(e) = comm.try_exchange_sum(&neighbors, rhs, 3, STEP_TAG_BASE + k) {
+                comm_err = Some(e);
+            }
+        });
+        if let Some(e) = comm_err {
+            return RankRun::Aborted { step: k, reason: e.to_string() };
+        }
+        std::mem::swap(&mut state.u_prev, &mut state.u_now);
+        std::mem::swap(&mut state.u_now, &mut u_next);
+        state.step = k + 1;
+        if !tainted && ticker.due(k) {
+            if let Err(e) = writer.write(state.step, &state, &ws.reg) {
+                return RankRun::Aborted { step: k, reason: format!("checkpoint write: {e}") };
+            }
+        }
+    }
+    RankRun::Finished(state)
+}
+
+/// The consistent restore line: the highest step at which **every** rank's
+/// checkpoint file fully decodes (magic, version, kind, CRC). Per-rank
+/// corruption just lowers the line for everyone — ranks whose newer files
+/// are intact reload the older consistent step instead.
+fn restore_line(
+    dir: &std::path::Path,
+    n_ranks: usize,
+    reg: &Registry,
+) -> Option<(u64, Vec<SolverState>)> {
+    let readers: Vec<CheckpointReader> =
+        (0..n_ranks).map(|r| CheckpointReader::new(dir, &format!("rank{r}"))).collect();
+    let mut candidates = readers[0].steps();
+    candidates.reverse(); // descending: newest line first
+    for step in candidates {
+        let span = reg.span("ckpt_restore");
+        let loaded: Result<Vec<SolverState>, CkptError> =
+            readers.iter().map(|r| r.load::<SolverState>(step).map(|(_, s)| s)).collect();
+        drop(span);
+        match loaded {
+            Ok(states) => return Some((step, states)),
+            Err(_) => reg.add("ckpt/skipped_invalid", 1),
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -253,5 +571,219 @@ mod tests {
         assert_eq!(xbytes.max, max_vol * 2.0 * 3.0 * 8.0 * steps as f64);
         // Per-color spans stay rank-local (excluded from the collective).
         assert!(run.reduced.iter().all(|r| !r.name.contains("color")));
+    }
+
+    fn recovery_setup() -> (HexMesh, ElasticConfig) {
+        let half = 1u32 << (MAX_LEVEL - 1);
+        let mut tree = LinearOctree::build(|o| o.level < 2 || (o.level < 3 && o.x < half));
+        tree.balance(BalanceMode::Full);
+        let mesh = HexMesh::from_octree(&tree, 8.0, |_, _, _, _| ElemMaterial {
+            lambda: 2.0,
+            mu: 1.0,
+            rho: 1.0,
+        });
+        let mut cfg = ElasticConfig::new(1.0);
+        cfg.dt = Some(0.05);
+        (mesh, cfg)
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("quake-dist-recover-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Max |difference| between a recovered run and the plain distributed
+    /// run on each rank's touched nodes; must be exactly 0.0 (bitwise).
+    fn assert_matches_unfaulted(mesh: &HexMesh, run: &RecoveredRun, reference: &DistributedRun) {
+        for (rank, (dp, dn)) in run.states.iter().enumerate() {
+            let (rp, rn) = &reference.states[rank];
+            let mut touched = vec![false; mesh.n_nodes()];
+            for &ei in &run.elements[rank] {
+                for &nd in &mesh.elements[ei as usize].nodes {
+                    touched[nd as usize] = true;
+                }
+            }
+            for nd in 0..mesh.n_nodes() {
+                if !touched[nd] {
+                    continue;
+                }
+                for c in 0..3 {
+                    assert_eq!(
+                        dn[3 * nd + c].to_bits(),
+                        rn[3 * nd + c].to_bits(),
+                        "rank {rank} node {nd} comp {c} (u_now)"
+                    );
+                    assert_eq!(
+                        dp[3 * nd + c].to_bits(),
+                        rp[3 * nd + c].to_bits(),
+                        "rank {rank} node {nd} comp {c} (u_prev)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical_to_unfaulted_run() {
+        let (mesh, cfg) = recovery_setup();
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = pulse(&mesh);
+        let (ranks, steps) = (4usize, 12usize);
+        let reference = run_distributed(&solver, ranks, Some((&u0, &v0)), steps);
+
+        let dir = tmpdir("kill-resume");
+        let cfg_r = RecoveryConfig { ckpt_dir: dir.clone(), every_steps: 4, max_attempts: 3 };
+        // Kill rank 2 just before step 7 (mid-run, after the step-8 line is
+        // NOT yet written: last full line is step 4).
+        let faults = FaultPlan::kill(2, 7);
+        let reg = Registry::new(0);
+        let run = run_distributed_recoverable(
+            &solver,
+            ranks,
+            Some((&u0, &v0)),
+            steps,
+            &cfg_r,
+            &faults,
+            &reg,
+        )
+        .unwrap();
+        assert!(run.finished, "outcomes: {:?}", run.outcomes);
+        assert_eq!(run.attempts, 2, "recovery within one retry");
+        assert_eq!(run.recoveries, 1);
+        assert_eq!(run.restored_step, 4, "restored from the last full line");
+        // Attempt 0: rank 2 killed at step 7; every survivor aborted (dead
+        // peer or cascade), none hung.
+        assert_eq!(run.outcomes[0][2], RankOutcome::Killed { step: 7 });
+        for r in [0usize, 1, 3] {
+            assert!(
+                matches!(run.outcomes[0][r], RankOutcome::Aborted { .. }),
+                "rank {r}: {:?}",
+                run.outcomes[0][r]
+            );
+        }
+        assert!(run.outcomes[1].iter().all(|o| *o == RankOutcome::Finished));
+        assert_eq!(reg.counter("recover/recoveries"), Some(1));
+        assert_matches_unfaulted(&mesh, &run, &reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_newest_checkpoint_lowers_the_restore_line() {
+        let (mesh, cfg) = recovery_setup();
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = pulse(&mesh);
+        let (ranks, steps) = (2usize, 12usize);
+        let reference = run_distributed(&solver, ranks, Some((&u0, &v0)), steps);
+
+        let dir = tmpdir("corrupt-fallback");
+        let cfg_r = RecoveryConfig { ckpt_dir: dir.clone(), every_steps: 3, max_attempts: 3 };
+        let faults = FaultPlan::kill(1, 8);
+        // First: let attempt 0 run and fail, producing checkpoints at steps
+        // 3 and 6. Corrupt rank 0's step-6 file before the retry by running
+        // the supervisor with max_attempts = 1 (so it stops after the fault),
+        // flipping a byte, then resuming with a fresh supervisor call.
+        let reg = Registry::disabled();
+        let first = run_distributed_recoverable(
+            &solver,
+            ranks,
+            Some((&u0, &v0)),
+            steps,
+            &RecoveryConfig { max_attempts: 1, ..cfg_r.clone() },
+            &faults,
+            &reg,
+        )
+        .unwrap();
+        assert!(!first.finished);
+        let victim = dir.join("rank0.0000000006.qckpt");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        // The resumed supervisor (no faults this time) must skip the
+        // corrupted step-6 line and restore everyone from step 3.
+        let run = run_distributed_recoverable(
+            &solver,
+            ranks,
+            Some((&u0, &v0)),
+            steps,
+            &cfg_r,
+            &FaultPlan::none(),
+            &reg,
+        )
+        .unwrap();
+        assert!(run.finished);
+        assert_eq!(run.restored_step, 3, "corrupt step-6 file must lower the line");
+        assert_matches_unfaulted(&mesh, &run, &reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delayed_exchange_does_not_change_results_or_need_recovery() {
+        let (mesh, cfg) = recovery_setup();
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = pulse(&mesh);
+        let (ranks, steps) = (4usize, 8usize);
+        let reference = run_distributed(&solver, ranks, Some((&u0, &v0)), steps);
+
+        let dir = tmpdir("delay");
+        let cfg_r = RecoveryConfig { ckpt_dir: dir.clone(), every_steps: 4, max_attempts: 2 };
+        let faults = FaultPlan::none().and(quake_parcomm::Fault::DelayExchange {
+            rank: 1,
+            step: 3,
+            millis: 20,
+        });
+        let reg = Registry::disabled();
+        let run = run_distributed_recoverable(
+            &solver,
+            ranks,
+            Some((&u0, &v0)),
+            steps,
+            &cfg_r,
+            &faults,
+            &reg,
+        )
+        .unwrap();
+        assert!(run.finished);
+        assert_eq!(run.attempts, 1, "a slow rank is not a failure");
+        assert_eq!(run.recoveries, 0);
+        assert_matches_unfaulted(&mesh, &run, &reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropped_exchange_is_detected_and_recovered() {
+        let (mesh, cfg) = recovery_setup();
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = pulse(&mesh);
+        let (ranks, steps) = (4usize, 10usize);
+        let reference = run_distributed(&solver, ranks, Some((&u0, &v0)), steps);
+
+        let dir = tmpdir("drop");
+        let cfg_r = RecoveryConfig { ckpt_dir: dir.clone(), every_steps: 5, max_attempts: 3 };
+        let faults = FaultPlan::none().and(quake_parcomm::Fault::DropExchange { rank: 0, step: 6 });
+        let reg = Registry::disabled();
+        let run = run_distributed_recoverable(
+            &solver,
+            ranks,
+            Some((&u0, &v0)),
+            steps,
+            &cfg_r,
+            &faults,
+            &reg,
+        )
+        .unwrap();
+        assert!(run.finished, "outcomes: {:?}", run.outcomes);
+        assert_eq!(run.attempts, 2, "tag skew must be detected, then recovered");
+        // Rank 0 is tainted from step 6 and must not have persisted any
+        // checkpoint past the pre-fault line.
+        assert_eq!(run.restored_step, 5);
+        assert!(run.outcomes[0].iter().any(|o| matches!(o, RankOutcome::Aborted { .. })));
+        assert_matches_unfaulted(&mesh, &run, &reference);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -43,8 +43,10 @@
 //! for any thread count.
 
 use crate::abc::{accumulate_abc_damping, apply_abc_stiffness, build_abc_faces, AbcFace};
+use crate::checkpoint::SolverState;
 use crate::receivers::Seismogram;
 use crate::sources::AssembledSource;
+use quake_ckpt::{CheckpointPolicy, CheckpointWriter, CkptError};
 use quake_fem::hex8::{elastic_hex_matrices, elastic_matvec, lumped_hex_mass};
 use quake_machine::phases::{elastic_step_phases, ElasticStepShape};
 use quake_mesh::coloring::{color_elements, ElementColoring};
@@ -740,12 +742,23 @@ impl<'m> ElasticSolver<'m> {
         initial: Option<(&[f64], &[f64])>,
         ws: &mut StepWorkspace,
     ) -> RunResult {
-        let t0 = std::time::Instant::now();
+        let state = self.initial_state(receiver_nodes.len(), initial);
+        // No writer: the only failure mode of `run_from` is a checkpoint
+        // write error, so this cannot fail.
+        let (result, _) = self.run_from(sources, receiver_nodes, state, ws, None).unwrap();
+        result
+    }
+
+    /// Fresh [`SolverState`] at step 0 with empty traces. `u0`/`v0`
+    /// optionally seed an initial displacement/velocity field.
+    pub fn initial_state(
+        &self,
+        n_receivers: usize,
+        initial: Option<(&[f64], &[f64])>,
+    ) -> SolverState {
         let ndof = 3 * self.mesh.n_nodes();
         let mut u_prev = vec![0.0; ndof];
         let mut u_now = vec![0.0; ndof];
-        let mut u_next = vec![0.0; ndof];
-        let mut f = vec![0.0; ndof];
         if let Some((u0, v0)) = initial {
             // u_now = u(0); u_prev = u(-dt) ~ u0 - dt v0 (first order is
             // enough: the error is O(dt^2), matching the scheme).
@@ -754,11 +767,42 @@ impl<'m> ElasticSolver<'m> {
                 u_prev[d] = u0[d] - self.dt * v0[d];
             }
         }
+        SolverState {
+            step: 0,
+            u_prev,
+            u_now,
+            seismograms: (0..n_receivers).map(|_| Seismogram::new(self.dt, 3)).collect(),
+        }
+    }
 
-        let mut traces: Vec<Seismogram> =
-            receiver_nodes.iter().map(|_| Seismogram::new(self.dt, 3)).collect();
-
-        for k in 0..self.n_steps {
+    /// Advance `state` from `state.step` up to (exclusive) step
+    /// `min(until_step, n_steps)`, optionally writing periodic checkpoints.
+    ///
+    /// This is the resumable core of [`ElasticSolver::run_with`]: a state
+    /// restored from a checkpoint and advanced to the end is bit-identical
+    /// to one advanced without interruption, because the leapfrog recurrence
+    /// reads exactly `(u_prev, u_now)` and the source term depends only on
+    /// the step index. Checkpoints are tagged with the *next* step to
+    /// execute, so restore needs no off-by-one bookkeeping.
+    pub fn advance(
+        &self,
+        sources: &[AssembledSource],
+        receiver_nodes: &[u32],
+        state: &mut SolverState,
+        until_step: u64,
+        ws: &mut StepWorkspace,
+        ckpt: Option<(&CheckpointWriter, &CheckpointPolicy)>,
+    ) -> Result<(), CkptError> {
+        let ndof = 3 * self.mesh.n_nodes();
+        assert_eq!(state.u_prev.len(), ndof, "state does not match this mesh");
+        assert_eq!(state.u_now.len(), ndof, "state does not match this mesh");
+        assert_eq!(state.seismograms.len(), receiver_nodes.len());
+        let mut u_next = vec![0.0; ndof];
+        let mut f = vec![0.0; ndof];
+        let mut ticker = ckpt.map(|(_, policy)| policy.ticker());
+        let last = until_step.min(self.n_steps as u64);
+        let first = state.step;
+        for k in first..last {
             let t = k as f64 * self.dt;
             f.iter_mut().for_each(|v| *v = 0.0);
             ws.reg.enter(ws.ids.source);
@@ -766,32 +810,56 @@ impl<'m> ElasticSolver<'m> {
                 s.add_force(t, &mut f);
             }
             ws.reg.exit(ws.ids.source);
-            self.step_with(&u_prev, &u_now, &f, &mut u_next, ws);
-            for (tr, &nd) in traces.iter_mut().zip(receiver_nodes) {
+            self.step_with(&state.u_prev, &state.u_now, &f, &mut u_next, ws);
+            for (tr, &nd) in state.seismograms.iter_mut().zip(receiver_nodes) {
                 let b = nd as usize * 3;
-                tr.push(&u_now[b..b + 3]);
+                tr.push(&state.u_now[b..b + 3]);
             }
-            std::mem::swap(&mut u_prev, &mut u_now);
-            std::mem::swap(&mut u_now, &mut u_next);
+            std::mem::swap(&mut state.u_prev, &mut state.u_now);
+            std::mem::swap(&mut state.u_now, &mut u_next);
+            state.step = k + 1;
+            if let (Some(ticker), Some((writer, _))) = (&mut ticker, ckpt) {
+                if ticker.due(k) {
+                    writer.write(state.step, state, &ws.reg)?;
+                    ticker.wrote();
+                }
+            }
         }
-
         // Pair the measured spans with their analytic work so the registry
         // alone suffices for a roofline readout (no-op when disabled).
-        self.record_step_costs(&self.full_scope, self.n_steps as u64, &ws.reg);
+        self.record_step_costs(&self.full_scope, last.saturating_sub(first), &ws.reg);
+        Ok(())
+    }
 
+    /// Run from `state` (fresh or checkpoint-restored) to the end of the
+    /// simulation, checkpointing along the way if a writer and policy are
+    /// given. Returns the run outcome and the final state; accounting
+    /// (`flops`, step costs) covers only the steps executed by *this* call.
+    pub fn run_from(
+        &self,
+        sources: &[AssembledSource],
+        receiver_nodes: &[u32],
+        mut state: SolverState,
+        ws: &mut StepWorkspace,
+        ckpt: Option<(&CheckpointWriter, &CheckpointPolicy)>,
+    ) -> Result<(RunResult, SolverState), CkptError> {
+        let t0 = std::time::Instant::now();
+        let executed = (self.n_steps as u64).saturating_sub(state.step);
+        self.advance(sources, receiver_nodes, &mut state, self.n_steps as u64, ws, ckpt)?;
         let flops = quake_machine::flops::elastic_total(
             self.mesh.n_elements() as u64,
             self.mesh.n_nodes() as u64,
             self.faces.len() as u64,
-            self.n_steps as u64,
+            executed,
         );
-        RunResult {
-            seismograms: traces,
+        let result = RunResult {
+            seismograms: state.seismograms.clone(),
             n_steps: self.n_steps,
             dt: self.dt,
             flops,
             wall_secs: t0.elapsed().as_secs_f64(),
-        }
+        };
+        Ok((result, state))
     }
 
     /// Run and return the final `(u_prev, u_now)` state (for field tests).
@@ -1192,6 +1260,69 @@ mod tests {
         assert!(!reg.is_enabled());
         assert!(reg.span_stats("step").is_none());
         assert!(reg.counter("step/fill/flops").is_none());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_to_straight_run() {
+        use quake_ckpt::{CheckpointPolicy, CheckpointReader, CheckpointWriter};
+        let (mesh, cfg) = damped_hanging_setup();
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = shear_pulse(&mesh, 4.0, 1.5, 1.0);
+        let receivers: Vec<u32> = vec![0, (mesh.n_nodes() / 2) as u32];
+        let n = solver.n_steps as u64;
+        let half = n / 2;
+        assert!(half >= 2);
+
+        // Straight run: all n steps without interruption.
+        let mut ws = solver.workspace();
+        let mut straight = solver.initial_state(receivers.len(), Some((&u0, &v0)));
+        solver.advance(&[], &receivers, &mut straight, n, &mut ws, None).unwrap();
+
+        // Interrupted run: advance to n/2 writing a checkpoint there, then
+        // restore from disk into a FRESH state and finish.
+        let dir = std::env::temp_dir()
+            .join("quake-solver-tests")
+            .join(format!("resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = CheckpointWriter::new(&dir, "elastic").unwrap();
+        let policy = CheckpointPolicy::every_steps(half);
+        let mut first_leg = solver.initial_state(receivers.len(), Some((&u0, &v0)));
+        solver
+            .advance(&[], &receivers, &mut first_leg, half, &mut ws, Some((&writer, &policy)))
+            .unwrap();
+        drop(first_leg); // resume must come purely from the file
+
+        let reader = CheckpointReader::new(&dir, "elastic");
+        let (step, mut resumed): (u64, SolverState) =
+            reader.latest_valid(&quake_telemetry::Registry::disabled()).unwrap();
+        assert_eq!(step, half);
+        assert_eq!(resumed.step, half);
+        solver.advance(&[], &receivers, &mut resumed, n, &mut ws, None).unwrap();
+
+        // Bit-identical: every displacement dof and every trace sample.
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&straight.u_prev), bits(&resumed.u_prev));
+        assert_eq!(bits(&straight.u_now), bits(&resumed.u_now));
+        for (a, b) in straight.seismograms.iter().zip(&resumed.seismograms) {
+            assert_eq!(bits(&a.data), bits(&b.data));
+            assert_eq!(a.n_samples(), n as usize);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_from_matches_run_with() {
+        let (mesh, cfg) = damped_hanging_setup();
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = shear_pulse(&mesh, 4.0, 1.5, 1.0);
+        let receivers: Vec<u32> = vec![3];
+        let baseline = solver.run(&[], &receivers, Some((&u0, &v0)));
+        let mut ws = solver.workspace();
+        let state = solver.initial_state(receivers.len(), Some((&u0, &v0)));
+        let (result, fin) = solver.run_from(&[], &receivers, state, &mut ws, None).unwrap();
+        assert_eq!(fin.step, solver.n_steps as u64);
+        assert_eq!(result.seismograms[0].data, baseline.seismograms[0].data);
+        assert_eq!(result.flops, baseline.flops);
     }
 
     #[cfg(feature = "parallel")]

@@ -34,6 +34,7 @@
 
 pub mod abc;
 pub mod analytic;
+pub mod checkpoint;
 pub mod distributed;
 pub mod elastic;
 pub mod receivers;
@@ -43,6 +44,10 @@ pub mod sources;
 pub mod tet;
 pub mod wave;
 
+pub use checkpoint::SolverState;
+pub use distributed::{
+    run_distributed, run_distributed_recoverable, RankOutcome, RecoveredRun, RecoveryConfig,
+};
 pub use elastic::{ElasticConfig, ElasticSolver, RunResult, StepScope, StepWorkspace};
 pub use receivers::{lowpass_filtfilt, Seismogram};
 pub use scalar3d::{Scalar3dConfig, Scalar3dSolver};

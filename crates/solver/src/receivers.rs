@@ -1,7 +1,7 @@
 //! Seismograms and waveform post-processing.
 
 /// A multi-component time series recorded at a receiver.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Seismogram {
     pub dt: f64,
     pub ncomp: usize,

@@ -17,9 +17,11 @@
 //! | [`model`] | `quake-model` | material + source models |
 //! | [`parcomm`] | `quake-parcomm` | SPMD rank/communicator layer |
 //! | [`machine`] | `quake-machine` | calibrated machine performance model |
+//! | [`telemetry`] | `quake-telemetry` | spans/counters/NDJSON traces |
 //! | [`solver`] | `quake-solver` | 3-D elastic/scalar explicit wave solvers |
 //! | [`antiplane`] | `quake-antiplane` | 2-D SH forward/adjoint solvers |
 //! | [`inverse`] | `quake-inverse` | Gauss-Newton-CG inversion framework |
+//! | [`ckpt`] | `quake-ckpt` | checksummed checkpoint/restart snapshots |
 //! | [`core`] | `quake-core` | end-to-end simulation/inversion drivers |
 //!
 //! ## Quickstart
@@ -28,6 +30,7 @@
 //! adaptively, run an earthquake, and look at the seismograms.
 
 pub use quake_antiplane as antiplane;
+pub use quake_ckpt as ckpt;
 pub use quake_core as core;
 pub use quake_etree as etree;
 pub use quake_fem as fem;
@@ -38,3 +41,4 @@ pub use quake_model as model;
 pub use quake_octree as octree;
 pub use quake_parcomm as parcomm;
 pub use quake_solver as solver;
+pub use quake_telemetry as telemetry;
