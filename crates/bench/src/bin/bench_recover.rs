@@ -28,7 +28,9 @@ use quake_mesh::hexmesh::{ElemMaterial, HexMesh};
 use quake_octree::{BalanceMode, LinearOctree, MAX_LEVEL};
 use quake_parcomm::FaultPlan;
 use quake_solver::distributed::run_distributed;
-use quake_solver::{run_distributed_recoverable, ElasticConfig, ElasticSolver, RecoveryConfig};
+use quake_solver::{
+    run_distributed_recoverable, DistConfig, ElasticConfig, ElasticSolver, RecoveryConfig,
+};
 use quake_telemetry::Registry;
 
 const RANKS: usize = 4;
@@ -96,20 +98,24 @@ fn main() {
 
     // Ground truth: the unfaulted distributed run (itself bit-identical to
     // the serial solver).
-    let baseline = run_distributed(&solver, RANKS, Some((&u0, &v0)), STEPS);
+    let dcfg = DistConfig::new(RANKS, STEPS).with_initial(&u0, &v0);
+    let baseline = run_distributed(&solver, &dcfg);
 
     let ckpt_dir = PathBuf::from("target/bench_recover_ckpt");
     let _ = std::fs::remove_dir_all(&ckpt_dir);
-    let rcfg =
-        RecoveryConfig { ckpt_dir: ckpt_dir.clone(), every_steps: CKPT_EVERY, max_attempts: 3 };
+    let rcfg = RecoveryConfig::new(ckpt_dir.clone(), CKPT_EVERY, 3);
     let reg = Registry::new(0);
 
     // Leg 1: kill a rank mid-run; the supervisor must recover within one
     // retry and match the baseline bit-for-bit.
     let faults = FaultPlan::kill(KILL_RANK, KILL_STEP);
-    let run =
-        run_distributed_recoverable(&solver, RANKS, Some((&u0, &v0)), STEPS, &rcfg, &faults, &reg)
-            .expect("recoverable run failed");
+    let run = run_distributed_recoverable(
+        &solver,
+        &dcfg,
+        &rcfg.clone().with_faults(faults.clone()),
+        &reg,
+    )
+    .expect("recoverable run failed");
     let kill_ok = run.finished && run.recoveries <= 1 && run.restored_step > 0;
     let kill_mismatches = bit_mismatches(&mesh, &baseline.states, &run.states, &run.elements);
 
@@ -140,16 +146,8 @@ fn main() {
     std::fs::write(&newest, &bytes).unwrap();
 
     let reg2 = Registry::new(0);
-    let rerun = run_distributed_recoverable(
-        &solver,
-        RANKS,
-        Some((&u0, &v0)),
-        STEPS,
-        &rcfg,
-        &FaultPlan::none(),
-        &reg2,
-    )
-    .expect("rerun after corruption failed");
+    let rerun = run_distributed_recoverable(&solver, &dcfg, &rcfg, &reg2)
+        .expect("rerun after corruption failed");
     let skipped = reg2.counter("ckpt/skipped_invalid").unwrap_or(0);
     let corrupt_ok = rerun.finished && skipped > 0;
     let corrupt_mismatches =

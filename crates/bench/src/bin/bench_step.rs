@@ -37,7 +37,9 @@ use quake_mesh::hexmesh::{ElemMaterial, HexMesh};
 use quake_octree::{BalanceMode, LinearOctree, MAX_LEVEL};
 use quake_solver::elastic::RayleighBand;
 use quake_solver::reference::reference_step;
-use quake_solver::{ElasticConfig, ElasticSolver};
+use quake_solver::{
+    ElasticConfig, ElasticSolver, NoExchange, NoopHook, RunConfig, RunOutcome, SolverHarness,
+};
 
 /// Multiresolution mesh: uniform `coarse` level with the x < 1/2 half refined
 /// one level deeper, 2:1 balanced — hanging nodes cross the interface.
@@ -177,6 +179,31 @@ fn main() {
          (telemetry overhead {overhead_pct:+.2}%)"
     );
 
+    // The canonical harness loop with a single no-op hook and no exchange —
+    // the hook dispatch must cost (nearly) nothing over the raw fused loop.
+    let harness = SolverHarness::new(&solver);
+    let v0 = vec![0.0; 3 * mesh.n_nodes()];
+    let mut hws = solver.workspace();
+    let mut harness_best = f64::INFINITY;
+    for _ in 0..ov_trials {
+        let mut state = solver.initial_state(0, Some((&u0, &v0)));
+        let run_cfg = RunConfig::to_step(ov_steps as u64);
+        let mut noop = NoopHook;
+        let t = Instant::now();
+        let outcome =
+            harness.run(&run_cfg, &mut state, &mut hws, &mut NoExchange, &mut [&mut noop]);
+        harness_best = harness_best.min(t.elapsed().as_secs_f64());
+        assert!(matches!(outcome, RunOutcome::Finished { .. }), "harness run stopped early");
+        assert!(state.u_now.iter().all(|v| v.is_finite()), "harness stepper diverged");
+    }
+    let harness_sps = ov_steps as f64 / harness_best;
+    let harness_eups = harness_sps * mesh.n_elements() as f64;
+    let harness_overhead_pct = (fused_sps / harness_sps - 1.0) * 100.0;
+    println!(
+        "harness      : {harness_sps:>8.2} steps/s  {harness_eups:>12.3e} element-updates/s  \
+         (no-op-hook overhead {harness_overhead_pct:+.2}%)"
+    );
+
     let speedup = fused_eups / base_eups;
     println!("speedup      : {speedup:.2}x element-updates/s (fused vs baseline)");
     let parallel = cfg!(feature = "parallel");
@@ -289,6 +316,9 @@ fn main() {
     json.push_str(&format!(
         "  \"instrumented\": {{ \"steps_per_sec\": {instr_sps:.3}, \"telemetry_overhead_pct\": {overhead_pct:.3} }},\n"
     ));
+    json.push_str(&format!(
+        "  \"harness\": {{ \"steps_per_sec\": {harness_sps:.3}, \"noop_hook_overhead_pct\": {harness_overhead_pct:.3} }},\n"
+    ));
     json.push_str(&format!("  \"speedup_fused_vs_baseline\": {speedup:.3}\n}}\n"));
 
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
@@ -317,6 +347,10 @@ fn main() {
         assert!(
             overhead_pct <= limit,
             "telemetry overhead {overhead_pct:.2}% exceeds the {limit}% budget"
+        );
+        assert!(
+            harness_overhead_pct <= limit,
+            "harness no-op-hook overhead {harness_overhead_pct:.2}% exceeds the {limit}% budget"
         );
     }
     assert!(

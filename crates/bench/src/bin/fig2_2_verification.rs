@@ -12,7 +12,7 @@ use quake_mesh::hexmesh::ElemMaterial;
 use quake_mesh::HexMesh;
 use quake_octree::LinearOctree;
 use quake_solver::analytic::{dalembert_rightward, reflection_coefficient, sh1d_reference};
-use quake_solver::{ElasticConfig, ElasticSolver};
+use quake_solver::{ElasticConfig, ElasticSolver, SolverHarness};
 
 /// Run a pseudo-1-D shear pulse on a uniform mesh; return the relative L2
 /// error against d'Alembert along the center line.
@@ -38,7 +38,7 @@ fn homogeneous_error(level: u8) -> (usize, f64) {
         v0[3 * i + 1] = vs * 2.0 * a / w * (-a * a).exp();
     }
     let steps = 150; // t = 3 s; pollution from free side faces needs 4 s
-    let (_, un) = solver.run_to_state(Some((&u0, &v0)), steps);
+    let (_, un) = SolverHarness::new(&solver).run_to_state(Some((&u0, &v0)), steps);
     let t = steps as f64 * 0.02;
     let g = |x: f64| (-(x - x0) * (x - x0) / (w * w)).exp();
     let mut num = 0.0;

@@ -13,7 +13,7 @@ use quake_bench::{full_scale, print_table};
 use quake_machine::{flops, MachineModel, RankWork};
 use quake_mesh::{mesh_from_model, partition_morton, ExchangePlan, MeshingParams};
 use quake_model::LaBasinModel;
-use quake_solver::{ElasticConfig, ElasticSolver};
+use quake_solver::{ElasticConfig, ElasticSolver, SolverHarness};
 
 /// Paper rows: (PEs, model, grid points, pts/PE, Mflops/PE, efficiency).
 const PAPER: &[(u32, &str, u64, u64, f64, f64)] = &[
@@ -50,7 +50,7 @@ fn main() {
     let solver = ElasticSolver::new(&mesh, &cfg);
     let calib_steps = if full_scale() { 40 } else { 15 };
     let t0 = std::time::Instant::now();
-    let _ = solver.run_to_state(None, calib_steps);
+    let _ = SolverHarness::new(&solver).run_to_state(None, calib_steps);
     let secs = t0.elapsed().as_secs_f64();
     let abc_faces = mesh.boundary_faces.len() as u64; // upper bound, 5/6 absorb
     let measured_flops = flops::elastic_total(

@@ -25,9 +25,11 @@
 //! handed; a disabled registry makes all of it free.
 
 pub mod format;
+pub mod sink;
 pub mod store;
 
 pub use format::{Decoder, Encoder, FORMAT_VERSION};
+pub use sink::{PeriodicSink, StepSink};
 pub use store::{CheckpointReader, CheckpointWriter};
 
 use std::time::Instant;

@@ -1,12 +1,16 @@
 //! Forward basin simulation: model -> mesh -> solve -> seismograms.
 
-use quake_ckpt::{CheckpointPolicy, CheckpointReader, CheckpointWriter, CkptError};
+use quake_ckpt::{
+    CheckpointPolicy, CheckpointReader, CheckpointWriter, CkptError, PeriodicSink, StepSink,
+};
 use quake_mesh::{mesh_from_model, HexMesh, MeshStats, MeshingParams};
 use quake_model::{ExtendedFault, LaBasinModel, MaterialModel};
 use quake_octree::LinearOctree;
-use quake_solver::{assemble_point_sources, ElasticConfig, ElasticSolver, RunResult};
+use quake_solver::{
+    assemble_point_sources, ElasticConfig, ElasticSolver, RunResult, SolverHarness, SolverState,
+};
 use quake_telemetry::Registry;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A complete forward-simulation scenario.
 #[derive(Clone, Debug)]
@@ -29,109 +33,123 @@ pub struct ForwardOutcome {
     pub result: RunResult,
 }
 
-/// Run a scenario against a material model.
+/// Builder configuring one forward solve: optional telemetry and optional
+/// checkpoint/restart layered onto the same canonical pipeline.
+///
+/// Every combination runs the identical `model -> mesh -> assemble -> solve`
+/// stages and drives the one `SolverHarness` step loop, so a traced or
+/// resumable run is **bit-identical** to a plain one.
+///
+/// ```ignore
+/// let out = ForwardRun::new(&model, &scenario)
+///     .traced(&reg)                     // spans + mesh stats + per-phase costs
+///     .resumable(&ckpt_dir, 50)         // snapshot every 50 steps, resume if possible
+///     .execute()?;
+/// ```
+pub struct ForwardRun<'a, M: MaterialModel> {
+    model: &'a M,
+    scenario: &'a ForwardScenario,
+    reg: Option<&'a Registry>,
+    resume: Option<(PathBuf, u64)>,
+}
+
+impl<'a, M: MaterialModel> ForwardRun<'a, M> {
+    pub fn new(model: &'a M, scenario: &'a ForwardScenario) -> ForwardRun<'a, M> {
+        ForwardRun { model, scenario, reg: None, resume: None }
+    }
+
+    /// Record telemetry into `reg`: the meshing and assembly stages get
+    /// spans, the mesh statistics land in the registry as `mesh/...`
+    /// metrics, and the solve runs with an instrumented workspace, so `reg`
+    /// afterwards holds the full per-phase breakdown of the run.
+    pub fn traced(mut self, reg: &'a Registry) -> ForwardRun<'a, M> {
+        self.reg = Some(reg);
+        self
+    }
+
+    /// Checkpoint/restart: the solve snapshots its state into `ckpt_dir`
+    /// every `every_steps` time steps, and if the directory already holds a
+    /// valid checkpoint (from an interrupted earlier invocation) the run
+    /// resumes from the newest one instead of starting at step zero. The
+    /// meshing and assembly stages rerun on resume — they are deterministic
+    /// functions of the scenario, so the restored state stays consistent.
+    /// Corrupted or truncated checkpoint files are detected by their CRC and
+    /// skipped in favor of the previous valid snapshot.
+    pub fn resumable(mut self, ckpt_dir: &Path, every_steps: u64) -> ForwardRun<'a, M> {
+        self.resume = Some((ckpt_dir.to_path_buf(), every_steps));
+        self
+    }
+
+    /// Run the configured pipeline. The only error source is checkpoint I/O,
+    /// so a run without [`resumable`](Self::resumable) cannot fail.
+    pub fn execute(self) -> Result<ForwardOutcome, CkptError> {
+        let disabled = Registry::disabled();
+        let reg = self.reg.unwrap_or(&disabled);
+        let scenario = self.scenario;
+        let (tree, mesh) = {
+            let _s = reg.span("forward/mesh");
+            mesh_from_model(&scenario.meshing, self.model)
+        };
+        let mesh_stats = MeshStats::compute(&mesh);
+        mesh_stats.record(reg);
+        let (solver, sources) = {
+            let _s = reg.span("forward/assemble");
+            let solver = ElasticSolver::new(&mesh, &scenario.solve);
+            let sources = assemble_point_sources(
+                &mesh,
+                &tree,
+                &scenario.fault.discretize(scenario.n_subfaults.0, scenario.n_subfaults.1),
+            );
+            (solver, sources)
+        };
+        let receiver_nodes: Vec<u32> =
+            scenario.receivers.iter().map(|&p| mesh.nearest_node(p)).collect();
+        let persist = match &self.resume {
+            Some((dir, every)) => {
+                let writer = CheckpointWriter::new(dir, "forward")?;
+                let policy = CheckpointPolicy::every_steps(*every);
+                let state = match CheckpointReader::new(dir, "forward").latest_valid(reg) {
+                    Some((step, state)) => {
+                        reg.set("forward/resumed_step", step);
+                        state
+                    }
+                    None => solver.initial_state(receiver_nodes.len(), None),
+                };
+                Some((writer, policy, state))
+            }
+            None => None,
+        };
+        let result = {
+            let _s = reg.span("forward/solve");
+            let mut ws = if reg.is_enabled() {
+                solver.workspace_instrumented(reg.rank())
+            } else {
+                solver.workspace()
+            };
+            let harness = SolverHarness::new(&solver);
+            let result = match persist {
+                Some((writer, policy, state)) => {
+                    let mut sink = PeriodicSink::new(&writer, &policy);
+                    let sink: &mut dyn StepSink<SolverState> = &mut sink;
+                    harness.run_simulation(&sources, &receiver_nodes, state, &mut ws, Some(sink))?.0
+                }
+                None => {
+                    let state = solver.initial_state(receiver_nodes.len(), None);
+                    harness.run_simulation(&sources, &receiver_nodes, state, &mut ws, None)?.0
+                }
+            };
+            reg.absorb(&ws.into_registry());
+            result
+        };
+        Ok(ForwardOutcome { tree, mesh, mesh_stats, receiver_nodes, result })
+    }
+}
+
+/// Run a scenario against a material model — shorthand for
+/// [`ForwardRun::new(..).execute()`](ForwardRun) with no telemetry or
+/// checkpointing.
 pub fn run_forward(model: &impl MaterialModel, scenario: &ForwardScenario) -> ForwardOutcome {
-    run_forward_traced(model, scenario, &Registry::disabled())
-}
-
-/// [`run_forward`] with telemetry: the meshing and assembly stages get
-/// spans, the mesh statistics land in the registry as `mesh/...` metrics,
-/// and the solve runs with an instrumented workspace, so `reg` afterwards
-/// holds the full per-phase breakdown of the run. Pass a disabled registry
-/// to make this exactly [`run_forward`].
-pub fn run_forward_traced(
-    model: &impl MaterialModel,
-    scenario: &ForwardScenario,
-    reg: &Registry,
-) -> ForwardOutcome {
-    let (tree, mesh) = {
-        let _s = reg.span("forward/mesh");
-        mesh_from_model(&scenario.meshing, model)
-    };
-    let mesh_stats = MeshStats::compute(&mesh);
-    mesh_stats.record(reg);
-    let (solver, sources) = {
-        let _s = reg.span("forward/assemble");
-        let solver = ElasticSolver::new(&mesh, &scenario.solve);
-        let sources = assemble_point_sources(
-            &mesh,
-            &tree,
-            &scenario.fault.discretize(scenario.n_subfaults.0, scenario.n_subfaults.1),
-        );
-        (solver, sources)
-    };
-    let receiver_nodes: Vec<u32> =
-        scenario.receivers.iter().map(|&p| mesh.nearest_node(p)).collect();
-    let result = {
-        let _s = reg.span("forward/solve");
-        let mut ws = if reg.is_enabled() {
-            solver.workspace_instrumented(reg.rank())
-        } else {
-            solver.workspace()
-        };
-        let result = solver.run_with(&sources, &receiver_nodes, None, &mut ws);
-        reg.absorb(&ws.into_registry());
-        result
-    };
-    ForwardOutcome { tree, mesh, mesh_stats, receiver_nodes, result }
-}
-
-/// [`run_forward_traced`] with checkpoint/restart: the solve snapshots its
-/// state into `ckpt_dir` every `every_steps` time steps, and if the
-/// directory already holds a valid checkpoint (from an interrupted earlier
-/// invocation) the run resumes from the newest one instead of starting at
-/// step zero. The meshing and assembly stages rerun on resume — they are
-/// deterministic functions of the scenario, so the restored state stays
-/// consistent — and the completed run is **bit-identical** to an
-/// uninterrupted one. Corrupted or truncated checkpoint files are detected
-/// by their CRC and skipped in favor of the previous valid snapshot.
-pub fn run_forward_resumable(
-    model: &impl MaterialModel,
-    scenario: &ForwardScenario,
-    ckpt_dir: &Path,
-    every_steps: u64,
-    reg: &Registry,
-) -> Result<ForwardOutcome, CkptError> {
-    let (tree, mesh) = {
-        let _s = reg.span("forward/mesh");
-        mesh_from_model(&scenario.meshing, model)
-    };
-    let mesh_stats = MeshStats::compute(&mesh);
-    mesh_stats.record(reg);
-    let (solver, sources) = {
-        let _s = reg.span("forward/assemble");
-        let solver = ElasticSolver::new(&mesh, &scenario.solve);
-        let sources = assemble_point_sources(
-            &mesh,
-            &tree,
-            &scenario.fault.discretize(scenario.n_subfaults.0, scenario.n_subfaults.1),
-        );
-        (solver, sources)
-    };
-    let receiver_nodes: Vec<u32> =
-        scenario.receivers.iter().map(|&p| mesh.nearest_node(p)).collect();
-    let writer = CheckpointWriter::new(ckpt_dir, "forward")?;
-    let policy = CheckpointPolicy::every_steps(every_steps);
-    let state = match CheckpointReader::new(ckpt_dir, "forward").latest_valid(reg) {
-        Some((step, state)) => {
-            reg.set("forward/resumed_step", step);
-            state
-        }
-        None => solver.initial_state(receiver_nodes.len(), None),
-    };
-    let result = {
-        let _s = reg.span("forward/solve");
-        let mut ws = if reg.is_enabled() {
-            solver.workspace_instrumented(reg.rank())
-        } else {
-            solver.workspace()
-        };
-        let (result, _) =
-            solver.run_from(&sources, &receiver_nodes, state, &mut ws, Some((&writer, &policy)))?;
-        reg.absorb(&ws.into_registry());
-        result
-    };
-    Ok(ForwardOutcome { tree, mesh, mesh_stats, receiver_nodes, result })
+    ForwardRun::new(model, scenario).execute().expect("no checkpointing configured")
 }
 
 /// A Northridge-like scenario scaled into a cube of edge `extent` meters,
@@ -207,13 +225,15 @@ mod tests {
         let mut short = scenario.clone();
         short.solve.duration = plain.result.dt * half_steps as f64 - plain.result.dt * 0.5;
         let reg = Registry::new(0);
-        let partial = run_forward_resumable(&model, &short, &dir, 3, &reg).unwrap();
+        let partial =
+            ForwardRun::new(&model, &short).traced(&reg).resumable(&dir, 3).execute().unwrap();
         assert!(partial.result.n_steps < plain.result.n_steps);
         assert!(CheckpointReader::new(&dir, "forward").steps().last().is_some());
 
         // Leg 2: the full scenario resumes from the newest snapshot.
         let reg2 = Registry::new(0);
-        let resumed = run_forward_resumable(&model, &scenario, &dir, 3, &reg2).unwrap();
+        let resumed =
+            ForwardRun::new(&model, &scenario).traced(&reg2).resumable(&dir, 3).execute().unwrap();
         assert!(reg2.counter("forward/resumed_step").unwrap() > 0);
         assert_eq!(resumed.result.n_steps, plain.result.n_steps);
         for (a, b) in resumed.result.seismograms.iter().zip(&plain.result.seismograms) {
@@ -231,7 +251,7 @@ mod tests {
         scenario.meshing.min_level = 2;
         scenario.meshing.max_level = 5;
         let reg = Registry::new(0);
-        let out = run_forward_traced(&model, &scenario, &reg);
+        let out = ForwardRun::new(&model, &scenario).traced(&reg).execute().unwrap();
         // Driver-stage spans are present and ran exactly once.
         for name in ["forward/mesh", "forward/assemble", "forward/solve"] {
             let s = reg.span_stats(name).unwrap_or_else(|| panic!("missing span {name}"));

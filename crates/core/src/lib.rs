@@ -10,5 +10,5 @@
 pub mod forward;
 pub mod inversion;
 
-pub use forward::{northridge_scenario, run_forward, ForwardOutcome, ForwardScenario};
+pub use forward::{northridge_scenario, run_forward, ForwardOutcome, ForwardRun, ForwardScenario};
 pub use inversion::{material_scenario, source_scenario, MaterialScenario, SourceScenario};

@@ -100,6 +100,37 @@ impl FaultPlan {
             })
             .min()
     }
+
+    /// This plan as seen from one rank — the view a per-rank step loop (or
+    /// fault-injection hook) queries by step alone, without threading the
+    /// full plan plus a rank id through its signature.
+    pub fn rank_view(&self, rank: usize) -> RankFaults<'_> {
+        RankFaults { plan: self, rank }
+    }
+}
+
+/// One rank's view of a [`FaultPlan`] (see [`FaultPlan::rank_view`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RankFaults<'p> {
+    plan: &'p FaultPlan,
+    rank: usize,
+}
+
+impl RankFaults<'_> {
+    /// Does this rank die before executing `step`?
+    pub fn kills(&self, step: u64) -> bool {
+        self.plan.should_kill(self.rank, step)
+    }
+
+    /// Injected delay (ms) before this rank's exchange of `step`.
+    pub fn delay_ms(&self, step: u64) -> u64 {
+        self.plan.exchange_delay_ms(self.rank, step)
+    }
+
+    /// Does this rank drop the exchange of `step`?
+    pub fn drops(&self, step: u64) -> bool {
+        self.plan.drops_exchange(self.rank, step)
+    }
 }
 
 #[cfg(test)]

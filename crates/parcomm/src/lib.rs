@@ -32,7 +32,7 @@
 
 pub mod fault;
 
-pub use fault::{Fault, FaultPlan};
+pub use fault::{Fault, FaultPlan, RankFaults};
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};

@@ -12,10 +12,78 @@ use std::sync::Mutex;
 
 use crate::checkpoint::SolverState;
 use crate::elastic::{ElasticSolver, StepScope};
-use quake_ckpt::{CheckpointPolicy, CheckpointReader, CheckpointWriter, CkptError};
+use crate::harness::{
+    CheckpointHook, Exchange, FaultHook, RunConfig, RunOutcome, SolverHarness, StopReason,
+    TelemetryHook,
+};
+use quake_ckpt::{CheckpointPolicy, CheckpointReader, CheckpointWriter, CkptError, PeriodicSink};
 use quake_mesh::{partition_morton, ExchangePlan, HexMesh};
 use quake_parcomm::{run_spmd, Communicator, FaultPlan};
 use quake_telemetry::{reduce_across_ranks, Reduced, Registry, Snapshot};
+
+/// What to run distributed: rank count, step count, optional initial
+/// `(u0, v0)` field, and whether each rank steps with an instrumented
+/// telemetry registry.
+#[derive(Clone, Copy, Debug)]
+pub struct DistConfig<'a> {
+    pub n_ranks: usize,
+    pub n_steps: usize,
+    pub initial: Option<(&'a [f64], &'a [f64])>,
+    /// Per-rank phase telemetry + cross-rank reduction
+    /// ([`run_distributed`] only; the recovery supervisor records its own
+    /// `recover/*` metrics instead).
+    pub telemetry: bool,
+}
+
+impl<'a> DistConfig<'a> {
+    pub fn new(n_ranks: usize, n_steps: usize) -> DistConfig<'a> {
+        DistConfig { n_ranks, n_steps, initial: None, telemetry: false }
+    }
+
+    /// Seed every rank with the initial `(u0, v0)` field.
+    pub fn with_initial(mut self, u0: &'a [f64], v0: &'a [f64]) -> DistConfig<'a> {
+        self.initial = Some((u0, v0));
+        self
+    }
+
+    /// Step with per-rank instrumented registries and reduce the common
+    /// phase metrics across ranks at the end of the run.
+    pub fn with_telemetry(mut self) -> DistConfig<'a> {
+        self.telemetry = true;
+        self
+    }
+}
+
+/// The fail-stop interface exchange: panics if a peer disappears (the
+/// plain distributed path, where rank failure is not survivable anyway).
+struct CommExchange<'c> {
+    comm: &'c Communicator,
+    neighbors: Vec<(usize, Vec<u32>)>,
+}
+
+impl Exchange for CommExchange<'_> {
+    fn exchange(&mut self, _step: u64, rhs: &mut [f64]) -> Result<(), String> {
+        self.comm.exchange_sum(&self.neighbors, rhs, 3);
+        Ok(())
+    }
+}
+
+/// The step-tagged exchange of the recovery path: the exchange of step `k`
+/// carries tag `STEP_TAG_BASE + k`, so a peer that skipped a step is
+/// detected as protocol skew and surfaces as a run-stopping error instead
+/// of silently summing stale data.
+struct TaggedExchange<'c> {
+    comm: &'c Communicator,
+    neighbors: Vec<(usize, Vec<u32>)>,
+}
+
+impl Exchange for TaggedExchange<'_> {
+    fn exchange(&mut self, step: u64, rhs: &mut [f64]) -> Result<(), String> {
+        self.comm
+            .try_exchange_sum(&self.neighbors, rhs, 3, STEP_TAG_BASE + step)
+            .map_err(|e| e.to_string())
+    }
+}
 
 /// Per-rank outcome of a distributed run. A rank's state vectors are valid
 /// (identical to the serial solver) exactly on the nodes its own elements
@@ -36,66 +104,43 @@ pub struct DistributedRun {
     pub reduced: Vec<Reduced>,
 }
 
-/// Run `n_steps` of the elastic solver on `n_ranks` SPMD ranks with a Morton
-/// element partition.
-pub fn run_distributed(
-    solver: &ElasticSolver<'_>,
-    n_ranks: usize,
-    initial: Option<(&[f64], &[f64])>,
-    n_steps: usize,
-) -> DistributedRun {
-    run_distributed_instrumented(solver, n_ranks, initial, n_steps, false)
-}
-
-/// [`run_distributed`] with optional per-rank telemetry: each rank steps with
-/// an instrumented registry, records its analytic phase costs (including the
-/// true interface exchange volume), and the run ends with a collective
+/// Run the elastic solver on [`DistConfig::n_ranks`] SPMD ranks with a
+/// Morton element partition: every rank drives the **same**
+/// [`SolverHarness`] loop as the serial solver, scoped to its own elements,
+/// with the fail-stop sum-exchange plugged into the mid-step hook point.
+///
+/// With [`DistConfig::telemetry`] each rank steps with an instrumented
+/// registry, a [`TelemetryHook`] records its analytic phase costs (including
+/// the true interface exchange volume), and the run ends with a collective
 /// min/max/mean reduction over the phase metrics all ranks share.
-pub fn run_distributed_instrumented(
-    solver: &ElasticSolver<'_>,
-    n_ranks: usize,
-    initial: Option<(&[f64], &[f64])>,
-    n_steps: usize,
-    telemetry: bool,
-) -> DistributedRun {
-    let setup = DistSetup::build(solver, n_ranks);
+pub fn run_distributed(solver: &ElasticSolver<'_>, cfg: &DistConfig<'_>) -> DistributedRun {
+    let setup = DistSetup::build(solver, cfg.n_ranks);
     let volumes = setup.volumes.clone();
-    let mesh: &HexMesh = solver.mesh;
 
-    let results = run_spmd(n_ranks, |comm: &Communicator| {
+    let results = run_spmd(cfg.n_ranks, |comm: &Communicator| {
         let rank = comm.rank();
         let scope = &setup.scopes[rank];
-        let neighbors = setup.neighbors(rank);
-        let ndof = 3 * mesh.n_nodes();
-        let mut u_prev = vec![0.0; ndof];
-        let mut u_now = vec![0.0; ndof];
-        let mut u_next = vec![0.0; ndof];
-        let f = vec![0.0; ndof];
         let mut ws =
-            if telemetry { solver.workspace_instrumented(rank) } else { solver.workspace() };
-        if let Some((u0, v0)) = initial {
-            u_now.copy_from_slice(u0);
-            for d in 0..ndof {
-                u_prev[d] = u0[d] - solver.dt * v0[d];
-            }
-        }
-        for _ in 0..n_steps {
-            solver.step_scoped(scope, &u_prev, &u_now, &f, &mut u_next, &mut ws, |rhs| {
-                comm.exchange_sum(&neighbors, rhs, 3);
-            });
-            std::mem::swap(&mut u_prev, &mut u_now);
-            std::mem::swap(&mut u_now, &mut u_next);
-        }
-
-        // Attach this rank's analytic phase costs (with its true interface
-        // traffic: 3 doubles per shared node, each sent AND received) and
-        // reduce the common metrics across ranks. The per-color element
-        // spans are rank-local names (color counts differ per partition), so
-        // they stay in the snapshot but are excluded from the collective.
-        let (snapshot, reduced) = if telemetry {
+            if cfg.telemetry { solver.workspace_instrumented(rank) } else { solver.workspace() };
+        let mut state = solver.initial_state(0, cfg.initial);
+        let mut exchange = CommExchange { comm, neighbors: setup.neighbors(rank) };
+        let run_cfg = RunConfig::to_step(cfg.n_steps as u64).with_scope(scope);
+        let harness = SolverHarness::new(solver);
+        if cfg.telemetry {
+            // This rank's true interface traffic: 3 doubles per shared
+            // node, each sent AND received.
             let mut shape = solver.phase_shape(scope);
             shape.exchange_doubles = 2 * 3 * volumes[rank] as u64;
-            solver.record_step_costs_shaped(&shape, n_steps as u64, &ws.reg);
+            let mut telemetry = TelemetryHook::shaped(solver, shape);
+            harness.run(&run_cfg, &mut state, &mut ws, &mut exchange, &mut [&mut telemetry]);
+        } else {
+            harness.run(&run_cfg, &mut state, &mut ws, &mut exchange, &mut []);
+        }
+
+        // Reduce the common metrics across ranks. The per-color element
+        // spans are rank-local names (color counts differ per partition), so
+        // they stay in the snapshot but are excluded from the collective.
+        let (snapshot, reduced) = if cfg.telemetry {
             let snap = ws.reg.snapshot();
             let mut common = snap.clone();
             common.retain(|name| !name.starts_with("span.step/elements/color"));
@@ -104,11 +149,11 @@ pub fn run_distributed_instrumented(
         } else {
             (Snapshot::default(), Vec::new())
         };
-        (u_prev, u_now, snapshot, reduced)
+        (state.u_prev, state.u_now, snapshot, reduced)
     });
 
-    let mut states = Vec::with_capacity(n_ranks);
-    let mut snapshots = Vec::with_capacity(n_ranks);
+    let mut states = Vec::with_capacity(cfg.n_ranks);
+    let mut snapshots = Vec::with_capacity(cfg.n_ranks);
     let mut reduced = Vec::new();
     for (up, un, snap, red) in results {
         states.push((up, un));
@@ -117,7 +162,7 @@ pub fn run_distributed_instrumented(
             reduced = red; // identical on every rank — keep rank 0's copy
         }
     }
-    if !telemetry {
+    if !cfg.telemetry {
         snapshots.clear();
     }
 
@@ -190,6 +235,24 @@ pub struct RecoveryConfig {
     pub every_steps: u64,
     /// Give up after this many attempts (≥ 1; each recovery is one retry).
     pub max_attempts: usize,
+    /// Scripted faults, injected through a per-rank
+    /// [`FaultHook`] on the **first attempt only** (so a retry is clean).
+    /// [`FaultPlan::none`] is the production configuration.
+    pub faults: FaultPlan,
+}
+
+impl RecoveryConfig {
+    /// Fault-free supervisor over `ckpt_dir` with a step cadence and retry
+    /// budget.
+    pub fn new(ckpt_dir: PathBuf, every_steps: u64, max_attempts: usize) -> RecoveryConfig {
+        RecoveryConfig { ckpt_dir, every_steps, max_attempts, faults: FaultPlan::none() }
+    }
+
+    /// Inject this fault plan on the first attempt.
+    pub fn with_faults(mut self, faults: FaultPlan) -> RecoveryConfig {
+        self.faults = faults;
+        self
+    }
 }
 
 /// How one rank ended one attempt.
@@ -232,22 +295,26 @@ enum RankRun {
 }
 
 /// Run the distributed elastic solver under the checkpoint/recovery
-/// supervisor, optionally injecting scripted faults (first attempt only).
+/// supervisor, optionally injecting the scripted faults of
+/// [`RecoveryConfig::faults`] (first attempt only).
 ///
-/// Each rank advances its leapfrog state with **step-tagged** interface
-/// exchanges and writes a per-rank checkpoint every
-/// [`RecoveryConfig::every_steps`] steps. There is **no barrier in the step
-/// loop** — a dead rank must not be able to hang survivors — so failure
-/// propagates through the communication fabric itself: a rank that stops for
-/// any reason drops its channel endpoints, every neighbor's next exchange
-/// observes `RankFailure` (or `Protocol` skew) and aborts, and the cascade
-/// reaches every connected rank. `run_spmd`'s thread join is the survivor
-/// barrier. The supervisor then computes the **restore line** — the highest
-/// step at which *every* rank has a checksum-valid checkpoint (corrupt or
-/// truncated files are skipped per rank) — reloads all ranks there, and
-/// relaunches. Faults are injected on the first attempt only, so a retry is
-/// clean; a rank that *dropped* an exchange is tainted and stops
-/// checkpointing, keeping corrupt state off disk.
+/// Each rank drives the same [`SolverHarness`] loop as every other entry
+/// point, composed from hooks: a [`FaultHook`] injects the scripted
+/// kills/drops/delays, a [`CheckpointHook`] offers the state to a per-rank
+/// [`PeriodicSink`] every [`RecoveryConfig::every_steps`] steps, and the
+/// mid-step exchange is **step-tagged** ([`TaggedExchange`]). There is **no
+/// barrier in the step loop** — a dead rank must not be able to hang
+/// survivors — so failure propagates through the communication fabric
+/// itself: a rank that stops for any reason drops its channel endpoints,
+/// every neighbor's next exchange observes `RankFailure` (or `Protocol`
+/// skew) and aborts, and the cascade reaches every connected rank.
+/// `run_spmd`'s thread join is the survivor barrier. The supervisor then
+/// computes the **restore line** — the highest step at which *every* rank
+/// has a checksum-valid checkpoint (corrupt or truncated files are skipped
+/// per rank) — reloads all ranks there, and relaunches. Faults are injected
+/// on the first attempt only, so a retry is clean; a rank that *dropped* an
+/// exchange is tainted and its [`CheckpointHook`] stops persisting, keeping
+/// corrupt state off disk.
 ///
 /// The final states are bit-identical to an unfaulted run: restore is exact
 /// (raw `f64` bit patterns) and the element sweep order is deterministic.
@@ -258,53 +325,39 @@ enum RankRun {
 /// attempt.
 pub fn run_distributed_recoverable(
     solver: &ElasticSolver<'_>,
-    n_ranks: usize,
-    initial: Option<(&[f64], &[f64])>,
-    n_steps: usize,
-    cfg: &RecoveryConfig,
-    faults: &FaultPlan,
+    cfg: &DistConfig<'_>,
+    rcfg: &RecoveryConfig,
     reg: &Registry,
 ) -> Result<RecoveredRun, CkptError> {
-    assert!(cfg.every_steps > 0, "checkpoint cadence must be positive");
-    assert!(cfg.max_attempts >= 1);
+    assert!(rcfg.every_steps > 0, "checkpoint cadence must be positive");
+    assert!(rcfg.max_attempts >= 1);
+    let n_ranks = cfg.n_ranks;
     let setup = DistSetup::build(solver, n_ranks);
-    let mesh: &HexMesh = solver.mesh;
-    let ndof = 3 * mesh.n_nodes();
-    let policy = CheckpointPolicy::every_steps(cfg.every_steps);
+    let policy = CheckpointPolicy::every_steps(rcfg.every_steps);
 
     let writers: Vec<CheckpointWriter> = (0..n_ranks)
-        .map(|r| CheckpointWriter::new(&cfg.ckpt_dir, &format!("rank{r}")))
+        .map(|r| CheckpointWriter::new(&rcfg.ckpt_dir, &format!("rank{r}")))
         .collect::<Result<_, _>>()?;
 
-    let fresh = || {
-        let mut u_prev = vec![0.0; ndof];
-        let mut u_now = vec![0.0; ndof];
-        if let Some((u0, v0)) = initial {
-            u_now.copy_from_slice(u0);
-            for d in 0..ndof {
-                u_prev[d] = u0[d] - solver.dt * v0[d];
-            }
-        }
-        SolverState { step: 0, u_prev, u_now, seismograms: Vec::new() }
-    };
+    let fresh = || solver.initial_state(0, cfg.initial);
 
     let mut outcomes: Vec<Vec<RankOutcome>> = Vec::new();
     let mut restored_step = 0u64;
-    for attempt in 0..cfg.max_attempts {
+    for attempt in 0..rcfg.max_attempts {
         let recoveries = attempt; // every attempt past the first is a restart
                                   // Restore line: the highest step where ALL ranks hold a valid
                                   // checkpoint; from scratch if there is none. States are decoded
                                   // serially here (the supervisor survives rank deaths by
                                   // construction) and moved into the rank closures via take-once
                                   // slots.
-        let (start_step, states) = match restore_line(&cfg.ckpt_dir, n_ranks, reg) {
+        let (start_step, states) = match restore_line(&rcfg.ckpt_dir, n_ranks, reg) {
             Some((s, states)) => (s, states),
             None => (0, (0..n_ranks).map(|_| fresh()).collect()),
         };
         restored_step = start_step;
         let slots: Vec<Mutex<Option<SolverState>>> =
             states.into_iter().map(|s| Mutex::new(Some(s))).collect();
-        let inject = attempt == 0 && !faults.is_empty();
+        let inject = attempt == 0 && !rcfg.faults.is_empty();
         let no_faults = FaultPlan::default();
 
         let runs = run_spmd(n_ranks, |comm: &Communicator| {
@@ -315,10 +368,10 @@ pub fn run_distributed_recoverable(
                 &setup,
                 comm,
                 state,
-                n_steps as u64,
+                cfg.n_steps as u64,
                 &writers[rank],
                 &policy,
-                if inject { faults } else { &no_faults },
+                if inject { &rcfg.faults } else { &no_faults },
             )
         });
 
@@ -364,21 +417,27 @@ pub fn run_distributed_recoverable(
             });
         }
     }
-    reg.set("recover/attempts", cfg.max_attempts as u64);
-    reg.set("recover/recoveries", (cfg.max_attempts - 1) as u64);
+    reg.set("recover/attempts", rcfg.max_attempts as u64);
+    reg.set("recover/recoveries", (rcfg.max_attempts - 1) as u64);
     Ok(RecoveredRun {
         states: Vec::new(),
         elements: setup.per_rank,
-        attempts: cfg.max_attempts,
-        recoveries: cfg.max_attempts - 1,
+        attempts: rcfg.max_attempts,
+        recoveries: rcfg.max_attempts - 1,
         restored_step,
         outcomes,
         finished: false,
     })
 }
 
-/// One rank's recoverable step loop (no barriers; see
-/// [`run_distributed_recoverable`] for the liveness argument).
+/// One rank of one recovery attempt: the canonical harness loop with a
+/// [`FaultHook`] (scripted kills/drops/delays), a [`CheckpointHook`] over
+/// this rank's [`PeriodicSink`], and the step-tagged exchange. No barriers —
+/// see [`run_distributed_recoverable`] for the liveness argument. A rank
+/// that dropped an exchange holds silently wrong fields from that step on;
+/// the harness taints the run and the checkpoint hook stops persisting
+/// (peers abort on the tag skew and the supervisor restores everyone from
+/// the pre-fault line).
 #[allow(clippy::too_many_arguments)]
 fn run_rank_recoverable(
     solver: &ElasticSolver<'_>,
@@ -391,48 +450,29 @@ fn run_rank_recoverable(
     faults: &FaultPlan,
 ) -> RankRun {
     let rank = comm.rank();
-    let scope = &setup.scopes[rank];
-    let neighbors = setup.neighbors(rank);
-    let ndof = state.u_now.len();
-    let mut u_next = vec![0.0; ndof];
-    let f = vec![0.0; ndof];
     let mut ws = solver.workspace();
-    let ticker = policy.ticker();
-    // A rank that dropped an exchange holds silently wrong fields from that
-    // step on: stop persisting them (peers abort on the tag skew and the
-    // supervisor restores everyone from the pre-fault line).
-    let mut tainted = false;
-    for k in state.step..n_steps {
-        if faults.should_kill(rank, k) {
-            return RankRun::Killed { step: k };
+    let mut exchange = TaggedExchange { comm, neighbors: setup.neighbors(rank) };
+    let mut fault_hook = FaultHook::new(faults.rank_view(rank));
+    let mut sink = PeriodicSink::new(writer, policy);
+    let mut ckpt_hook = CheckpointHook::new(&mut sink);
+    let run_cfg = RunConfig::to_step(n_steps).with_scope(&setup.scopes[rank]);
+    let outcome = SolverHarness::new(solver).run(
+        &run_cfg,
+        &mut state,
+        &mut ws,
+        &mut exchange,
+        &mut [&mut fault_hook, &mut ckpt_hook],
+    );
+    match outcome {
+        RunOutcome::Finished { .. } => RankRun::Finished(state),
+        RunOutcome::Stopped { step, reason: StopReason::Killed } => RankRun::Killed { step },
+        RunOutcome::Stopped { step, reason: StopReason::Comm(e) } => {
+            RankRun::Aborted { step, reason: e }
         }
-        let mut comm_err = None;
-        solver.step_scoped(scope, &state.u_prev, &state.u_now, &f, &mut u_next, &mut ws, |rhs| {
-            if faults.drops_exchange(rank, k) {
-                tainted = true;
-                return;
-            }
-            let delay = faults.exchange_delay_ms(rank, k);
-            if delay > 0 {
-                std::thread::sleep(std::time::Duration::from_millis(delay));
-            }
-            if let Err(e) = comm.try_exchange_sum(&neighbors, rhs, 3, STEP_TAG_BASE + k) {
-                comm_err = Some(e);
-            }
-        });
-        if let Some(e) = comm_err {
-            return RankRun::Aborted { step: k, reason: e.to_string() };
-        }
-        std::mem::swap(&mut state.u_prev, &mut state.u_now);
-        std::mem::swap(&mut state.u_now, &mut u_next);
-        state.step = k + 1;
-        if !tainted && ticker.due(k) {
-            if let Err(e) = writer.write(state.step, &state, &ws.reg) {
-                return RankRun::Aborted { step: k, reason: format!("checkpoint write: {e}") };
-            }
+        RunOutcome::Stopped { step, reason: StopReason::Ckpt(e) } => {
+            RankRun::Aborted { step, reason: format!("checkpoint write: {e}") }
         }
     }
-    RankRun::Finished(state)
 }
 
 /// The consistent restore line: the highest step at which **every** rank's
@@ -500,9 +540,11 @@ mod tests {
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = pulse(&mesh);
         let steps = 12;
-        let (sp, sn) = solver.run_to_state(Some((&u0, &v0)), steps);
+        let (sp, sn) =
+            crate::harness::SolverHarness::new(&solver).run_to_state(Some((&u0, &v0)), steps);
         for ranks in [1usize, 2, 4] {
-            let run = run_distributed(&solver, ranks, Some((&u0, &v0)), steps);
+            let run =
+                run_distributed(&solver, &DistConfig::new(ranks, steps).with_initial(&u0, &v0));
             for (rank, (dp, dn)) in run.states.iter().enumerate() {
                 // Compare on the nodes this rank's elements touch.
                 let mut touched = vec![false; mesh.n_nodes()];
@@ -546,7 +588,10 @@ mod tests {
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = pulse(&mesh);
         let (ranks, steps) = (4usize, 6usize);
-        let run = run_distributed_instrumented(&solver, ranks, Some((&u0, &v0)), steps, true);
+        let run = run_distributed(
+            &solver,
+            &DistConfig::new(ranks, steps).with_initial(&u0, &v0).with_telemetry(),
+        );
 
         assert_eq!(run.snapshots.len(), ranks);
         // Every rank stepped every phase `steps` times.
@@ -633,21 +678,19 @@ mod tests {
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = pulse(&mesh);
         let (ranks, steps) = (4usize, 12usize);
-        let reference = run_distributed(&solver, ranks, Some((&u0, &v0)), steps);
+        let reference =
+            run_distributed(&solver, &DistConfig::new(ranks, steps).with_initial(&u0, &v0));
 
         let dir = tmpdir("kill-resume");
-        let cfg_r = RecoveryConfig { ckpt_dir: dir.clone(), every_steps: 4, max_attempts: 3 };
+        let cfg_r = RecoveryConfig::new(dir.clone(), 4, 3);
         // Kill rank 2 just before step 7 (mid-run, after the step-8 line is
         // NOT yet written: last full line is step 4).
         let faults = FaultPlan::kill(2, 7);
         let reg = Registry::new(0);
         let run = run_distributed_recoverable(
             &solver,
-            ranks,
-            Some((&u0, &v0)),
-            steps,
-            &cfg_r,
-            &faults,
+            &DistConfig::new(ranks, steps).with_initial(&u0, &v0),
+            &cfg_r.clone().with_faults(faults.clone()),
             &reg,
         )
         .unwrap();
@@ -677,10 +720,11 @@ mod tests {
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = pulse(&mesh);
         let (ranks, steps) = (2usize, 12usize);
-        let reference = run_distributed(&solver, ranks, Some((&u0, &v0)), steps);
+        let reference =
+            run_distributed(&solver, &DistConfig::new(ranks, steps).with_initial(&u0, &v0));
 
         let dir = tmpdir("corrupt-fallback");
-        let cfg_r = RecoveryConfig { ckpt_dir: dir.clone(), every_steps: 3, max_attempts: 3 };
+        let cfg_r = RecoveryConfig::new(dir.clone(), 3, 3);
         let faults = FaultPlan::kill(1, 8);
         // First: let attempt 0 run and fail, producing checkpoints at steps
         // 3 and 6. Corrupt rank 0's step-6 file before the retry by running
@@ -689,11 +733,8 @@ mod tests {
         let reg = Registry::disabled();
         let first = run_distributed_recoverable(
             &solver,
-            ranks,
-            Some((&u0, &v0)),
-            steps,
-            &RecoveryConfig { max_attempts: 1, ..cfg_r.clone() },
-            &faults,
+            &DistConfig::new(ranks, steps).with_initial(&u0, &v0),
+            &RecoveryConfig { max_attempts: 1, ..cfg_r.clone() }.with_faults(faults.clone()),
             &reg,
         )
         .unwrap();
@@ -708,11 +749,8 @@ mod tests {
         // corrupted step-6 line and restore everyone from step 3.
         let run = run_distributed_recoverable(
             &solver,
-            ranks,
-            Some((&u0, &v0)),
-            steps,
+            &DistConfig::new(ranks, steps).with_initial(&u0, &v0),
             &cfg_r,
-            &FaultPlan::none(),
             &reg,
         )
         .unwrap();
@@ -728,10 +766,11 @@ mod tests {
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = pulse(&mesh);
         let (ranks, steps) = (4usize, 8usize);
-        let reference = run_distributed(&solver, ranks, Some((&u0, &v0)), steps);
+        let reference =
+            run_distributed(&solver, &DistConfig::new(ranks, steps).with_initial(&u0, &v0));
 
         let dir = tmpdir("delay");
-        let cfg_r = RecoveryConfig { ckpt_dir: dir.clone(), every_steps: 4, max_attempts: 2 };
+        let cfg_r = RecoveryConfig::new(dir.clone(), 4, 2);
         let faults = FaultPlan::none().and(quake_parcomm::Fault::DelayExchange {
             rank: 1,
             step: 3,
@@ -740,11 +779,8 @@ mod tests {
         let reg = Registry::disabled();
         let run = run_distributed_recoverable(
             &solver,
-            ranks,
-            Some((&u0, &v0)),
-            steps,
-            &cfg_r,
-            &faults,
+            &DistConfig::new(ranks, steps).with_initial(&u0, &v0),
+            &cfg_r.clone().with_faults(faults.clone()),
             &reg,
         )
         .unwrap();
@@ -761,19 +797,17 @@ mod tests {
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = pulse(&mesh);
         let (ranks, steps) = (4usize, 10usize);
-        let reference = run_distributed(&solver, ranks, Some((&u0, &v0)), steps);
+        let reference =
+            run_distributed(&solver, &DistConfig::new(ranks, steps).with_initial(&u0, &v0));
 
         let dir = tmpdir("drop");
-        let cfg_r = RecoveryConfig { ckpt_dir: dir.clone(), every_steps: 5, max_attempts: 3 };
+        let cfg_r = RecoveryConfig::new(dir.clone(), 5, 3);
         let faults = FaultPlan::none().and(quake_parcomm::Fault::DropExchange { rank: 0, step: 6 });
         let reg = Registry::disabled();
         let run = run_distributed_recoverable(
             &solver,
-            ranks,
-            Some((&u0, &v0)),
-            steps,
-            &cfg_r,
-            &faults,
+            &DistConfig::new(ranks, steps).with_initial(&u0, &v0),
+            &cfg_r.clone().with_faults(faults.clone()),
             &reg,
         )
         .unwrap();

@@ -46,7 +46,6 @@ use crate::abc::{accumulate_abc_damping, apply_abc_stiffness, build_abc_faces, A
 use crate::checkpoint::SolverState;
 use crate::receivers::Seismogram;
 use crate::sources::AssembledSource;
-use quake_ckpt::{CheckpointPolicy, CheckpointWriter, CkptError};
 use quake_fem::hex8::{elastic_hex_matrices, elastic_matvec, lumped_hex_mass};
 use quake_machine::phases::{elastic_step_phases, ElasticStepShape};
 use quake_mesh::coloring::{color_elements, ElementColoring};
@@ -127,12 +126,12 @@ pub struct StepWorkspace {
     /// Per-rank metric registry (see [`ElasticSolver::workspace_instrumented`]).
     pub reg: Registry,
     /// Interned span ids of the step phases.
-    ids: StepSpanIds,
+    pub(crate) ids: StepSpanIds,
 }
 
 /// Pre-interned telemetry span ids of the step's phases (see the phase map
 /// in DESIGN.md's "Telemetry" section).
-struct StepSpanIds {
+pub(crate) struct StepSpanIds {
     step: SpanId,
     fill: SpanId,
     elements: SpanId,
@@ -141,7 +140,7 @@ struct StepSpanIds {
     exchange: SpanId,
     tail: SpanId,
     interp: SpanId,
-    source: SpanId,
+    pub(crate) source: SpanId,
     /// Per-color children of `step/elements`, grown on demand (the color
     /// count is a property of the scope, not the workspace).
     colors: Vec<SpanId>,
@@ -722,6 +721,10 @@ impl<'m> ElasticSolver<'m> {
 
     /// Run the full simulation with the given sources and receiver nodes.
     /// `u0`/`v0` optionally set an initial state (e.g. a plane-wave pulse).
+    ///
+    /// Thin shim over [`SolverHarness::run_simulation`](crate::harness::SolverHarness::run_simulation)
+    /// — resumable, instrumented, or checkpointed runs drive the harness
+    /// directly with their own workspace, state, and hooks.
     pub fn run(
         &self,
         sources: &[AssembledSource],
@@ -729,23 +732,10 @@ impl<'m> ElasticSolver<'m> {
         initial: Option<(&[f64], &[f64])>,
     ) -> RunResult {
         let mut ws = self.workspace();
-        self.run_with(sources, receiver_nodes, initial, &mut ws)
-    }
-
-    /// [`ElasticSolver::run`] against a caller-held workspace, so an
-    /// instrumented registry ([`ElasticSolver::workspace_instrumented`])
-    /// survives the run for readout.
-    pub fn run_with(
-        &self,
-        sources: &[AssembledSource],
-        receiver_nodes: &[u32],
-        initial: Option<(&[f64], &[f64])>,
-        ws: &mut StepWorkspace,
-    ) -> RunResult {
         let state = self.initial_state(receiver_nodes.len(), initial);
-        // No writer: the only failure mode of `run_from` is a checkpoint
-        // write error, so this cannot fail.
-        let (result, _) = self.run_from(sources, receiver_nodes, state, ws, None).unwrap();
+        let (result, _) = crate::harness::SolverHarness::new(self)
+            .run_simulation(sources, receiver_nodes, state, &mut ws, None)
+            .expect("no checkpoint sink, so no failure mode");
         result
     }
 
@@ -773,119 +763,6 @@ impl<'m> ElasticSolver<'m> {
             u_now,
             seismograms: (0..n_receivers).map(|_| Seismogram::new(self.dt, 3)).collect(),
         }
-    }
-
-    /// Advance `state` from `state.step` up to (exclusive) step
-    /// `min(until_step, n_steps)`, optionally writing periodic checkpoints.
-    ///
-    /// This is the resumable core of [`ElasticSolver::run_with`]: a state
-    /// restored from a checkpoint and advanced to the end is bit-identical
-    /// to one advanced without interruption, because the leapfrog recurrence
-    /// reads exactly `(u_prev, u_now)` and the source term depends only on
-    /// the step index. Checkpoints are tagged with the *next* step to
-    /// execute, so restore needs no off-by-one bookkeeping.
-    pub fn advance(
-        &self,
-        sources: &[AssembledSource],
-        receiver_nodes: &[u32],
-        state: &mut SolverState,
-        until_step: u64,
-        ws: &mut StepWorkspace,
-        ckpt: Option<(&CheckpointWriter, &CheckpointPolicy)>,
-    ) -> Result<(), CkptError> {
-        let ndof = 3 * self.mesh.n_nodes();
-        assert_eq!(state.u_prev.len(), ndof, "state does not match this mesh");
-        assert_eq!(state.u_now.len(), ndof, "state does not match this mesh");
-        assert_eq!(state.seismograms.len(), receiver_nodes.len());
-        let mut u_next = vec![0.0; ndof];
-        let mut f = vec![0.0; ndof];
-        let mut ticker = ckpt.map(|(_, policy)| policy.ticker());
-        let last = until_step.min(self.n_steps as u64);
-        let first = state.step;
-        for k in first..last {
-            let t = k as f64 * self.dt;
-            f.iter_mut().for_each(|v| *v = 0.0);
-            ws.reg.enter(ws.ids.source);
-            for s in sources {
-                s.add_force(t, &mut f);
-            }
-            ws.reg.exit(ws.ids.source);
-            self.step_with(&state.u_prev, &state.u_now, &f, &mut u_next, ws);
-            for (tr, &nd) in state.seismograms.iter_mut().zip(receiver_nodes) {
-                let b = nd as usize * 3;
-                tr.push(&state.u_now[b..b + 3]);
-            }
-            std::mem::swap(&mut state.u_prev, &mut state.u_now);
-            std::mem::swap(&mut state.u_now, &mut u_next);
-            state.step = k + 1;
-            if let (Some(ticker), Some((writer, _))) = (&mut ticker, ckpt) {
-                if ticker.due(k) {
-                    writer.write(state.step, state, &ws.reg)?;
-                    ticker.wrote();
-                }
-            }
-        }
-        // Pair the measured spans with their analytic work so the registry
-        // alone suffices for a roofline readout (no-op when disabled).
-        self.record_step_costs(&self.full_scope, last.saturating_sub(first), &ws.reg);
-        Ok(())
-    }
-
-    /// Run from `state` (fresh or checkpoint-restored) to the end of the
-    /// simulation, checkpointing along the way if a writer and policy are
-    /// given. Returns the run outcome and the final state; accounting
-    /// (`flops`, step costs) covers only the steps executed by *this* call.
-    pub fn run_from(
-        &self,
-        sources: &[AssembledSource],
-        receiver_nodes: &[u32],
-        mut state: SolverState,
-        ws: &mut StepWorkspace,
-        ckpt: Option<(&CheckpointWriter, &CheckpointPolicy)>,
-    ) -> Result<(RunResult, SolverState), CkptError> {
-        let t0 = std::time::Instant::now();
-        let executed = (self.n_steps as u64).saturating_sub(state.step);
-        self.advance(sources, receiver_nodes, &mut state, self.n_steps as u64, ws, ckpt)?;
-        let flops = quake_machine::flops::elastic_total(
-            self.mesh.n_elements() as u64,
-            self.mesh.n_nodes() as u64,
-            self.faces.len() as u64,
-            executed,
-        );
-        let result = RunResult {
-            seismograms: state.seismograms.clone(),
-            n_steps: self.n_steps,
-            dt: self.dt,
-            flops,
-            wall_secs: t0.elapsed().as_secs_f64(),
-        };
-        Ok((result, state))
-    }
-
-    /// Run and return the final `(u_prev, u_now)` state (for field tests).
-    pub fn run_to_state(
-        &self,
-        initial: Option<(&[f64], &[f64])>,
-        n_steps: usize,
-    ) -> (Vec<f64>, Vec<f64>) {
-        let ndof = 3 * self.mesh.n_nodes();
-        let mut u_prev = vec![0.0; ndof];
-        let mut u_now = vec![0.0; ndof];
-        let mut u_next = vec![0.0; ndof];
-        let f = vec![0.0; ndof];
-        let mut ws = self.workspace();
-        if let Some((u0, v0)) = initial {
-            u_now.copy_from_slice(u0);
-            for d in 0..ndof {
-                u_prev[d] = u0[d] - self.dt * v0[d];
-            }
-        }
-        for _ in 0..n_steps {
-            self.step_with(&u_prev, &u_now, &f, &mut u_next, &mut ws);
-            std::mem::swap(&mut u_prev, &mut u_now);
-            std::mem::swap(&mut u_now, &mut u_next);
-        }
-        (u_prev, u_now)
     }
 
     /// The fitted per-element Rayleigh constants `(alpha, beta)`.
@@ -937,6 +814,15 @@ mod tests {
         })
     }
 
+    /// Shorthand: drive the harness's source-free loop to a final state.
+    fn run_to_state(
+        solver: &ElasticSolver<'_>,
+        initial: Option<(&[f64], &[f64])>,
+        n_steps: usize,
+    ) -> (Vec<f64>, Vec<f64>) {
+        crate::harness::SolverHarness::new(solver).run_to_state(initial, n_steps)
+    }
+
     /// Gaussian shear pulse traveling in +x: u_y = exp(-((x-x0)/w)^2).
     fn shear_pulse(mesh: &HexMesh, x0: f64, w: f64, vs: f64) -> (Vec<f64>, Vec<f64>) {
         let n = mesh.n_nodes();
@@ -956,7 +842,7 @@ mod tests {
     fn zero_state_stays_zero() {
         let mesh = uniform_mesh(2, 8.0, 2.0, 1.0, 1.0);
         let solver = ElasticSolver::new(&mesh, &ElasticConfig::new(1.0));
-        let (up, un) = solver.run_to_state(None, 10);
+        let (up, un) = run_to_state(&solver, None, 10);
         assert!(up.iter().chain(&un).all(|&v| v == 0.0));
     }
 
@@ -979,9 +865,9 @@ mod tests {
         cfg.dt = Some(0.05);
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = shear_pulse(&mesh, 4.0, 1.0, 1.0);
-        let (up1, un1) = solver.run_to_state(Some((&u0, &v0)), 1);
+        let (up1, un1) = run_to_state(&solver, Some((&u0, &v0)), 1);
         let e_start = solver.energy(&up1, &un1);
-        let (up, un) = solver.run_to_state(Some((&u0, &v0)), 200);
+        let (up, un) = run_to_state(&solver, Some((&u0, &v0)), 200);
         let e_end = solver.energy(&up, &un);
         assert!((e_end - e_start).abs() < 5e-3 * e_start, "energy drift {e_start} -> {e_end}");
         assert!(e_start > 0.0);
@@ -1001,7 +887,7 @@ mod tests {
         let (u0, v0) = shear_pulse(&mesh, 5.0, 2.5, vs);
         let travel = 3.0; // seconds; pollution needs 8/vp = 4 s to reach center
         let n_steps = (travel / solver.dt).round() as usize;
-        let (_, un) = solver.run_to_state(Some((&u0, &v0)), n_steps);
+        let (_, un) = run_to_state(&solver, Some((&u0, &v0)), n_steps);
         // Compare u_y along the center line y = z = 8 against the analytic
         // translated pulse.
         let t_actual = n_steps as f64 * solver.dt;
@@ -1027,12 +913,12 @@ mod tests {
         cfg.abc = [true; 6];
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = shear_pulse(&mesh, 4.0, 1.0, 1.0);
-        let (up1, un1) = solver.run_to_state(Some((&u0, &v0)), 1);
+        let (up1, un1) = run_to_state(&solver, Some((&u0, &v0)), 1);
         let e_start = solver.energy(&up1, &un1);
         // After the pulse crosses the domain (8 units at vs = 1 -> 8 s) it
         // should be mostly gone.
         let n_steps = (10.0 / solver.dt).round() as usize;
-        let (up, un) = solver.run_to_state(Some((&u0, &v0)), n_steps);
+        let (up, un) = run_to_state(&solver, Some((&u0, &v0)), n_steps);
         let e_end = solver.energy(&up, &un);
         // Stacey is exact only at normal incidence; the 1-D pulse grazes the
         // four side faces, which is the worst case — ~10-15% residual is the
@@ -1048,10 +934,10 @@ mod tests {
         cfg.abc = [false; 6];
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = shear_pulse(&mesh, 4.0, 1.0, 1.0);
-        let (up1, un1) = solver.run_to_state(Some((&u0, &v0)), 1);
+        let (up1, un1) = run_to_state(&solver, Some((&u0, &v0)), 1);
         let e_start = solver.energy(&up1, &un1);
         let n_steps = (10.0 / solver.dt).round() as usize;
-        let (up, un) = solver.run_to_state(Some((&u0, &v0)), n_steps);
+        let (up, un) = run_to_state(&solver, Some((&u0, &v0)), n_steps);
         let e_end = solver.energy(&up, &un);
         assert!(e_end > 0.9 * e_start, "free box lost energy: {e_start} -> {e_end}");
     }
@@ -1064,10 +950,10 @@ mod tests {
         cfg.rayleigh = Some(RayleighBand { f_lo: 0.05, f_hi: 2.0 });
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = shear_pulse(&mesh, 4.0, 1.0, 1.0);
-        let (up1, un1) = solver.run_to_state(Some((&u0, &v0)), 1);
+        let (up1, un1) = run_to_state(&solver, Some((&u0, &v0)), 1);
         let e_start = solver.energy(&up1, &un1);
         let n_steps = (8.0 / solver.dt).round() as usize;
-        let (up, un) = solver.run_to_state(Some((&u0, &v0)), n_steps);
+        let (up, un) = run_to_state(&solver, Some((&u0, &v0)), n_steps);
         let e_end = solver.energy(&up, &un);
         assert!(e_end < 0.7 * e_start, "damping too weak: {e_start} -> {e_end}");
         assert!(e_end > 0.0);
@@ -1100,8 +986,8 @@ mod tests {
         let (u0f, v0f) = shear_pulse(&mesh_fine, 4.0, 1.5, 1.0);
         let (u0c, v0c) = shear_pulse(&mesh_coarse, 4.0, 1.5, 1.0);
         let n_steps = 20;
-        let (_, unf) = s_fine.run_to_state(Some((&u0f, &v0f)), n_steps);
-        let (_, unc) = s_coarse.run_to_state(Some((&u0c, &v0c)), n_steps);
+        let (_, unf) = run_to_state(&s_fine, Some((&u0f, &v0f)), n_steps);
+        let (_, unc) = run_to_state(&s_coarse, Some((&u0c, &v0c)), n_steps);
         // Compare on the coarse mesh's nodes.
         let mut fine_by_grid = std::collections::HashMap::new();
         for (i, g) in mesh_fine.grid_coords.iter().enumerate() {
@@ -1264,9 +1150,11 @@ mod tests {
 
     #[test]
     fn checkpoint_resume_is_bit_identical_to_straight_run() {
-        use quake_ckpt::{CheckpointPolicy, CheckpointReader, CheckpointWriter};
+        use crate::harness::{CheckpointHook, NoExchange, ReceiverHook, RunConfig, SolverHarness};
+        use quake_ckpt::{CheckpointPolicy, CheckpointReader, CheckpointWriter, PeriodicSink};
         let (mesh, cfg) = damped_hanging_setup();
         let solver = ElasticSolver::new(&mesh, &cfg);
+        let harness = SolverHarness::new(&solver);
         let (u0, v0) = shear_pulse(&mesh, 4.0, 1.5, 1.0);
         let receivers: Vec<u32> = vec![0, (mesh.n_nodes() / 2) as u32];
         let n = solver.n_steps as u64;
@@ -1276,7 +1164,14 @@ mod tests {
         // Straight run: all n steps without interruption.
         let mut ws = solver.workspace();
         let mut straight = solver.initial_state(receivers.len(), Some((&u0, &v0)));
-        solver.advance(&[], &receivers, &mut straight, n, &mut ws, None).unwrap();
+        let mut recv = ReceiverHook::new(&receivers);
+        harness.run(
+            &RunConfig::to_step(n),
+            &mut straight,
+            &mut ws,
+            &mut NoExchange,
+            &mut [&mut recv],
+        );
 
         // Interrupted run: advance to n/2 writing a checkpoint there, then
         // restore from disk into a FRESH state and finish.
@@ -1287,9 +1182,18 @@ mod tests {
         let writer = CheckpointWriter::new(&dir, "elastic").unwrap();
         let policy = CheckpointPolicy::every_steps(half);
         let mut first_leg = solver.initial_state(receivers.len(), Some((&u0, &v0)));
-        solver
-            .advance(&[], &receivers, &mut first_leg, half, &mut ws, Some((&writer, &policy)))
-            .unwrap();
+        {
+            let mut sink = PeriodicSink::new(&writer, &policy);
+            let mut recv = ReceiverHook::new(&receivers);
+            let mut ckpt = CheckpointHook::new(&mut sink);
+            harness.run(
+                &RunConfig::to_step(half),
+                &mut first_leg,
+                &mut ws,
+                &mut NoExchange,
+                &mut [&mut recv, &mut ckpt],
+            );
+        }
         drop(first_leg); // resume must come purely from the file
 
         let reader = CheckpointReader::new(&dir, "elastic");
@@ -1297,7 +1201,14 @@ mod tests {
             reader.latest_valid(&quake_telemetry::Registry::disabled()).unwrap();
         assert_eq!(step, half);
         assert_eq!(resumed.step, half);
-        solver.advance(&[], &receivers, &mut resumed, n, &mut ws, None).unwrap();
+        let mut recv = ReceiverHook::new(&receivers);
+        harness.run(
+            &RunConfig::to_step(n),
+            &mut resumed,
+            &mut ws,
+            &mut NoExchange,
+            &mut [&mut recv],
+        );
 
         // Bit-identical: every displacement dof and every trace sample.
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
@@ -1311,7 +1222,8 @@ mod tests {
     }
 
     #[test]
-    fn run_from_matches_run_with() {
+    fn resumed_simulation_matches_run_shim() {
+        use crate::harness::SolverHarness;
         let (mesh, cfg) = damped_hanging_setup();
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = shear_pulse(&mesh, 4.0, 1.5, 1.0);
@@ -1319,7 +1231,9 @@ mod tests {
         let baseline = solver.run(&[], &receivers, Some((&u0, &v0)));
         let mut ws = solver.workspace();
         let state = solver.initial_state(receivers.len(), Some((&u0, &v0)));
-        let (result, fin) = solver.run_from(&[], &receivers, state, &mut ws, None).unwrap();
+        let (result, fin) = SolverHarness::new(&solver)
+            .run_simulation(&[], &receivers, state, &mut ws, None)
+            .unwrap();
         assert_eq!(fin.step, solver.n_steps as u64);
         assert_eq!(result.seismograms[0].data, baseline.seismograms[0].data);
         assert_eq!(result.flops, baseline.flops);

@@ -20,6 +20,10 @@
 //!   the `march` API the inversion framework drives (Table 3.1's substrate),
 //! - [`analytic`]: closed-form solutions used for verification (Fig 2.2):
 //!   d'Alembert pulses and interface reflection/transmission coefficients,
+//! - [`harness`]: the ONE canonical step loop ([`harness::SolverHarness`])
+//!   every public `run_*` entry point delegates to, driven by a
+//!   [`harness::RunConfig`] plus ordered [`harness::StepHook`]s (telemetry,
+//!   checkpointing, receiver sampling, fault injection),
 //! - [`distributed`]: the rank-parallel elastic solver over `quake-parcomm`
 //!   (owner-computes + interface sum-exchange), bit-identical to the serial
 //!   solver,
@@ -37,6 +41,7 @@ pub mod analytic;
 pub mod checkpoint;
 pub mod distributed;
 pub mod elastic;
+pub mod harness;
 pub mod receivers;
 pub mod reference;
 pub mod scalar3d;
@@ -46,10 +51,15 @@ pub mod wave;
 
 pub use checkpoint::SolverState;
 pub use distributed::{
-    run_distributed, run_distributed_recoverable, RankOutcome, RecoveredRun, RecoveryConfig,
+    run_distributed, run_distributed_recoverable, DistConfig, RankOutcome, RecoveredRun,
+    RecoveryConfig,
 };
 pub use elastic::{ElasticConfig, ElasticSolver, RunResult, StepScope, StepWorkspace};
-pub use receivers::{lowpass_filtfilt, Seismogram};
+pub use harness::{
+    CheckpointHook, Exchange, ExchangeFlow, FaultHook, HookCtx, NoExchange, NoopHook, ReceiverHook,
+    RunConfig, RunInfo, RunOutcome, SolverHarness, StepHook, StopReason, TelemetryHook,
+};
+pub use receivers::{lowpass_filtfilt, record_sample, Seismogram};
 pub use scalar3d::{Scalar3dConfig, Scalar3dSolver};
 pub use wave::ScalarWaveEq;
 

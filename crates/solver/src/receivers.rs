@@ -50,6 +50,19 @@ impl Seismogram {
     }
 }
 
+/// Append one displacement sample per receiver: trace `i` gets the three
+/// components of `u` at node `nodes[i]`. This is the single sampling routine
+/// every solver loop routes through (the harness's `ReceiverHook`, the tet
+/// baseline) — the interpolation used to be re-implemented inline in each
+/// step loop.
+pub fn record_sample(traces: &mut [Seismogram], nodes: &[u32], u: &[f64]) {
+    assert_eq!(traces.len(), nodes.len());
+    for (tr, &nd) in traces.iter_mut().zip(nodes) {
+        let b = nd as usize * 3;
+        tr.push(&u[b..b + 3]);
+    }
+}
+
 /// Zero-phase low-pass filter: a 2nd-order Butterworth biquad applied
 /// forward then backward (filtfilt), as used to band-limit the Fig 2.4
 /// waveform comparisons to 0.5 / 1.0 Hz.

@@ -144,28 +144,19 @@ impl<'m> TetSolver<'m> {
     }
 
     /// Run from an initial state for `n_steps`, returning the final pair.
+    ///
+    /// Delegates to the same canonical leapfrog loop as the hex solver
+    /// ([`crate::harness::leapfrog_to_state`]) so the two baselines share
+    /// final-step semantics: the returned pair is `(u at (n-1) dt, u at n dt)`.
     pub fn run_to_state(
         &self,
         initial: Option<(&[f64], &[f64])>,
         n_steps: usize,
     ) -> (Vec<f64>, Vec<f64>) {
         let ndof = 3 * self.mesh.n_nodes();
-        let mut u_prev = vec![0.0; ndof];
-        let mut u_now = vec![0.0; ndof];
-        let mut u_next = vec![0.0; ndof];
-        let f = vec![0.0; ndof];
-        if let Some((u0, v0)) = initial {
-            u_now.copy_from_slice(u0);
-            for d in 0..ndof {
-                u_prev[d] = u0[d] - self.dt * v0[d];
-            }
-        }
-        for _ in 0..n_steps {
-            self.step(&u_prev, &u_now, &f, &mut u_next);
-            std::mem::swap(&mut u_prev, &mut u_now);
-            std::mem::swap(&mut u_now, &mut u_next);
-        }
-        (u_prev, u_now)
+        crate::harness::leapfrog_to_state(ndof, self.dt, initial, n_steps, |up, un, f, unext| {
+            self.step(up, un, f, unext)
+        })
     }
 
     /// Run with sources and record receiver displacement traces.
@@ -189,10 +180,7 @@ impl<'m> TetSolver<'m> {
                 s.add_force(t, &mut f);
             }
             self.step(&u_prev, &u_now, &f, &mut u_next);
-            for (tr, &nd) in traces.iter_mut().zip(receiver_nodes) {
-                let b = nd as usize * 3;
-                tr.push(&u_now[b..b + 3]);
-            }
+            crate::receivers::record_sample(&mut traces, receiver_nodes, &u_now);
             std::mem::swap(&mut u_prev, &mut u_now);
             std::mem::swap(&mut u_now, &mut u_next);
         }
@@ -272,7 +260,8 @@ mod tests {
             u0[3 * i + 1] = (-r2 / 4.0).exp();
         }
         let steps = 30;
-        let (_, uh) = hex.run_to_state(Some((&u0, &v0)), steps);
+        let (_, uh) =
+            crate::harness::SolverHarness::new(&hex).run_to_state(Some((&u0, &v0)), steps);
         let (_, ut) = tet.run_to_state(Some((&u0, &v0)), steps);
         let mut err = 0.0;
         let mut norm = 0.0;

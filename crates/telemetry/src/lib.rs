@@ -39,9 +39,11 @@
 
 pub mod hist;
 pub mod json;
+pub mod observe;
 pub mod reduce;
 
 pub use hist::Histogram;
+pub use observe::{ProgressEvents, StepObserver};
 pub use reduce::{reduce_across_ranks, Reduced};
 
 use std::cell::RefCell;

@@ -1,0 +1,82 @@
+//! Step-loop observation surface.
+//!
+//! A time-stepping harness that wants to report progress should not know how
+//! progress is consumed — an NDJSON trace, a TUI, a log line every N steps.
+//! [`StepObserver`] is the small contract between the loop and those
+//! consumers; [`ProgressEvents`] is the standard implementation, emitting
+//! `run_start`/`run_progress`/`run_end` events onto a [`Registry`] so they
+//! ride the existing NDJSON export.
+
+use crate::Registry;
+
+/// Receives coarse lifecycle notifications from a step loop.
+///
+/// All methods default to no-ops so implementations override only what they
+/// consume. `step` arguments are the index of the *next* step to execute
+/// (i.e. the number of steps completed so far from step zero).
+pub trait StepObserver {
+    /// The loop is about to execute its first step (`step` = first index).
+    fn on_run_start(&mut self, _step: u64, _reg: &Registry) {}
+    /// A step just completed; `step` is the next step to execute.
+    fn on_step(&mut self, _step: u64, _reg: &Registry) {}
+    /// The loop finished (or stopped) after executing `executed` steps.
+    fn on_run_end(&mut self, _executed: u64, _reg: &Registry) {}
+}
+
+/// A [`StepObserver`] that emits registry events at a fixed step cadence,
+/// suitable for tailing a long run through the NDJSON stream.
+pub struct ProgressEvents {
+    every_steps: u64,
+}
+
+impl ProgressEvents {
+    /// Emit a `run_progress` event every `every_steps` completed steps
+    /// (clamped to at least 1).
+    pub fn every(every_steps: u64) -> ProgressEvents {
+        ProgressEvents { every_steps: every_steps.max(1) }
+    }
+}
+
+impl StepObserver for ProgressEvents {
+    fn on_run_start(&mut self, step: u64, reg: &Registry) {
+        reg.event("run_start", &[("step", step as f64)]);
+    }
+
+    fn on_step(&mut self, step: u64, reg: &Registry) {
+        if step.is_multiple_of(self.every_steps) {
+            reg.event("run_progress", &[("step", step as f64)]);
+        }
+    }
+
+    fn on_run_end(&mut self, executed: u64, reg: &Registry) {
+        reg.event("run_end", &[("executed", executed as f64)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_events_land_on_the_registry_at_cadence() {
+        let reg = Registry::new(0);
+        let mut obs = ProgressEvents::every(2);
+        obs.on_run_start(0, &reg);
+        for completed in 0..5u64 {
+            obs.on_step(completed + 1, &reg);
+        }
+        obs.on_run_end(5, &reg);
+        // run_start + progress at steps 2 and 4 + run_end.
+        assert_eq!(reg.n_events(), 4);
+    }
+
+    #[test]
+    fn disabled_registry_makes_observation_free() {
+        let reg = Registry::disabled();
+        let mut obs = ProgressEvents::every(1);
+        obs.on_run_start(0, &reg);
+        obs.on_step(1, &reg);
+        obs.on_run_end(1, &reg);
+        assert_eq!(reg.n_events(), 0);
+    }
+}

@@ -10,7 +10,7 @@ use quake::mesh::{mesh_from_model, MeshingParams};
 use quake::model::{layer_over_halfspace, HomogeneousModel, Material};
 use quake::solver::analytic::sh1d_reference;
 use quake::solver::wave::{forward, ScalarWaveEq};
-use quake::solver::{ElasticConfig, ElasticSolver};
+use quake::solver::{ElasticConfig, ElasticSolver, SolverHarness};
 
 /// Fig 2.2-grade verification: the 3-D hexahedral solver on a layered
 /// column against the fine 1-D SH finite-difference reference.
@@ -47,7 +47,7 @@ fn layer_over_halfspace_matches_1d_reference() {
     // the shear speed (~2400 m/s over 4 km): keep t_end below ~1.6 s.
     let t_end = 1.3;
     let steps = (t_end / solver.dt).round() as usize;
-    let (_, un) = solver.run_to_state(Some((&u0, &v0)), steps);
+    let (_, un) = SolverHarness::new(&solver).run_to_state(Some((&u0, &v0)), steps);
     let t_actual = steps as f64 * solver.dt;
 
     // 1-D reference at high resolution.
