@@ -127,6 +127,18 @@ impl Encoder {
 /// Cursor-based decoder mirroring [`Encoder`]. Every take checks bounds and
 /// returns [`CkptError::Truncated`] past the end — a short payload is a
 /// decode error, never a panic.
+/// Infallible fixed-width copies for slices whose length the callers below
+/// have already established via `take(4)`/`take(8)`/`chunks_exact(8)` —
+/// the reader path must stay panic-free on arbitrary on-disk bytes, so no
+/// `try_into().unwrap()` (enforced by quake-lint's no-panic-in-comm rule).
+fn arr4(b: &[u8]) -> [u8; 4] {
+    [b[0], b[1], b[2], b[3]]
+}
+
+fn arr8(b: &[u8]) -> [u8; 8] {
+    [b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]
+}
+
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -156,11 +168,11 @@ impl<'a> Decoder<'a> {
     }
 
     pub fn take_u32(&mut self) -> Result<u32, CkptError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(arr4(self.take(4)?)))
     }
 
     pub fn take_u64(&mut self) -> Result<u64, CkptError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(arr8(self.take(8)?)))
     }
 
     pub fn take_f64(&mut self) -> Result<f64, CkptError> {
@@ -196,16 +208,13 @@ impl<'a> Decoder<'a> {
     pub fn take_f64_vec(&mut self) -> Result<Vec<f64>, CkptError> {
         let n = self.take_len(8)?;
         let raw = self.take(8 * n)?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
-            .collect())
+        Ok(raw.chunks_exact(8).map(|c| f64::from_bits(u64::from_le_bytes(arr8(c)))).collect())
     }
 
     pub fn take_u64_vec(&mut self) -> Result<Vec<u64>, CkptError> {
         let n = self.take_len(8)?;
         let raw = self.take(8 * n)?;
-        Ok(raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+        Ok(raw.chunks_exact(8).map(|c| u64::from_le_bytes(arr8(c))).collect())
     }
 
     /// Assert the payload was fully consumed (catches encode/decode drift).
@@ -241,7 +250,7 @@ pub fn decode_file<'a>(kind: &str, bytes: &'a [u8]) -> Result<(u64, &'a [u8]), C
         return Err(CkptError::Truncated { needed: 32, available: bytes.len() });
     }
     let (body, trailer) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+    let stored = u32::from_le_bytes(arr4(trailer));
     let actual = crc32(body);
     if stored != actual {
         return Err(CkptError::BadChecksum { stored, actual });

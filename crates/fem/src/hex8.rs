@@ -137,6 +137,8 @@ fn sum4(a: [f64; 4]) -> f64 {
     (a[0] + a[1]) + (a[2] + a[3])
 }
 
+// lint:hot-path — the innermost element matvecs; pure fixed-size array
+// arithmetic, executed once (or twice) per element per step.
 /// `y += scale * (lambda*K_L + mu*K_M) x` for 24-vectors — the element matvec
 /// at the heart of the wave solver.
 ///
@@ -216,6 +218,7 @@ pub fn elastic_matvec2(
         yw[r] += scale * (lambda * sum4(alw) + mu * sum4(amw));
     }
 }
+// lint:hot-path-end
 
 #[cfg(test)]
 mod tests {

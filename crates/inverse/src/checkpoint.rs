@@ -100,7 +100,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn gn_checkpoint_roundtrips_bit_exactly() {
+    fn gn_checkpoint_roundtrips_bit_exactly() -> Result<(), CkptError> {
         let c = GnCheckpoint {
             next_iter: 3,
             m: vec![1.0e10, 2.5e9, -0.0],
@@ -121,8 +121,8 @@ mod tests {
         c.encode(&mut enc);
         let bytes = enc.into_bytes();
         let mut dec = Decoder::new(&bytes);
-        let back = GnCheckpoint::decode(&mut dec).unwrap();
-        dec.finish().unwrap();
+        let back = GnCheckpoint::decode(&mut dec)?;
+        dec.finish()?;
         assert_eq!(back.next_iter, 3);
         assert_eq!(back.m, c.m);
         assert_eq!(back.lbfgs_pairs, c.lbfgs_pairs);
@@ -131,6 +131,7 @@ mod tests {
         assert_eq!(back.stats.cg_iters_per_gn, c.stats.cg_iters_per_gn);
         assert_eq!(back.stats.objective_history, c.stats.objective_history);
         assert!(!back.stats.converged);
+        Ok(())
     }
 
     #[test]

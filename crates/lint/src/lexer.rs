@@ -1,0 +1,440 @@
+//! A lightweight Rust lexer — just enough structure to walk source safely.
+//!
+//! The rules in this crate match *token* sequences, never raw text, so a
+//! `panic!` inside a string literal, a `pub fn run_x` quoted in a doc
+//! comment, or a `.unwrap()` shown in an example string can never produce a
+//! false finding. That pushes all the difficulty into the token boundaries,
+//! which this lexer gets right for the constructs that actually appear in
+//! (and confuse greps over) real Rust:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! - string literals with escapes, raw strings with any `#` count, byte
+//!   strings and raw byte strings,
+//! - `'a'` char literals (including escapes and `b'x'`) vs `'a` lifetimes,
+//! - numeric literals with type suffixes, hex digits, and exponents.
+//!
+//! It deliberately does NOT build an AST: items, generics, and expressions
+//! stay a flat token stream, which is exactly the level the invariant rules
+//! need (adjacent-token patterns plus brace matching).
+
+/// Token classification. Comments are kept as tokens — region detection
+/// (`lint:hot-path` markers, `SAFETY:` comments) reads them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'a`, `'static`, `'_` — a quote introducing a lifetime, not a char.
+    Lifetime,
+    /// `'x'`, `'\n'`, `b'x'`, `'é'`.
+    CharLit,
+    /// `"..."`, `r"..."`, `r#"..."#`, `b"..."`, `br##"..."##`.
+    StrLit,
+    /// Integer or float literal, any base, with optional suffix/exponent.
+    NumLit,
+    /// `// ...` up to (not including) the newline; doc comments too.
+    LineComment,
+    /// `/* ... */`, nested to any depth.
+    BlockComment,
+    /// Any other single character (`{`, `.`, `!`, `#`, ...).
+    Punct,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte range in the source text.
+    pub start: usize,
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for `Punct` tokens whose single character is `c`.
+    pub fn is_punct(&self, src: &str, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text(src).starts_with(c)
+    }
+}
+
+/// Lex `text` into a flat token stream. Never fails: malformed input
+/// (unterminated strings/comments) produces a token running to EOF, so the
+/// rules degrade gracefully instead of panicking on odd fixtures.
+pub fn lex(text: &str) -> Vec<Token> {
+    Lexer { text, b: text.as_bytes(), pos: 0, line: 1, toks: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    text: &'a str,
+    b: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+impl Lexer<'_> {
+    fn peek(&self, k: usize) -> u8 {
+        self.b.get(self.pos + k).copied().unwrap_or(0)
+    }
+
+    fn at(&self, i: usize) -> u8 {
+        self.b.get(i).copied().unwrap_or(0)
+    }
+
+    /// Move to `end`, counting newlines in the consumed range so token line
+    /// numbers stay correct across multi-line strings and comments.
+    fn advance_to(&mut self, end: usize) {
+        let end = end.min(self.b.len());
+        for i in self.pos..end {
+            if self.b[i] == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos = end;
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, end: usize, line: u32) {
+        self.advance_to(end);
+        self.toks.push(Token { kind, start, end: self.pos, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.b.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.b[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == b'/' => {
+                    let end = self.scan_line_comment(start);
+                    self.emit(TokKind::LineComment, start, end, line);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    let end = self.scan_block_comment(start);
+                    self.emit(TokKind::BlockComment, start, end, line);
+                }
+                b'r' | b'b' => match self.raw_or_byte(start) {
+                    Some((kind, end)) => self.emit(kind, start, end, line),
+                    None => {
+                        let end = self.scan_ident(start);
+                        self.emit(TokKind::Ident, start, end, line);
+                    }
+                },
+                b'"' => {
+                    let end = self.scan_string(start + 1);
+                    self.emit(TokKind::StrLit, start, end, line);
+                }
+                b'\'' => self.char_or_lifetime(start, line),
+                _ if is_ident_start(c) => {
+                    let end = self.scan_ident(start);
+                    self.emit(TokKind::Ident, start, end, line);
+                }
+                b'0'..=b'9' => {
+                    let end = self.scan_number(start);
+                    self.emit(TokKind::NumLit, start, end, line);
+                }
+                _ => {
+                    // Single-character punctuation. Skip whole chars so a
+                    // stray non-ASCII byte can't desynchronize the lexer.
+                    let end = start + self.char_len(start);
+                    self.emit(TokKind::Punct, start, end, line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    /// Byte length of the UTF-8 char starting at `i` (1 if out of range).
+    fn char_len(&self, i: usize) -> usize {
+        self.text.get(i..).and_then(|s| s.chars().next()).map_or(1, |c| c.len_utf8())
+    }
+
+    fn scan_line_comment(&self, mut j: usize) -> usize {
+        while j < self.b.len() && self.b[j] != b'\n' {
+            j += 1;
+        }
+        j
+    }
+
+    /// `j` at the opening `/`. Handles nesting: `/* a /* b */ c */`.
+    fn scan_block_comment(&self, mut j: usize) -> usize {
+        let n = self.b.len();
+        let mut depth = 0usize;
+        while j < n {
+            if self.b[j] == b'/' && self.at(j + 1) == b'*' {
+                depth += 1;
+                j += 2;
+            } else if self.b[j] == b'*' && self.at(j + 1) == b'/' {
+                depth -= 1;
+                j += 2;
+                if depth == 0 {
+                    return j;
+                }
+            } else {
+                j += 1;
+            }
+        }
+        n
+    }
+
+    /// `j` just past the opening quote of a (possibly byte) string.
+    fn scan_string(&self, mut j: usize) -> usize {
+        let n = self.b.len();
+        while j < n {
+            match self.b[j] {
+                b'\\' => j += 2,
+                b'"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        n
+    }
+
+    /// `j` just past the opening quote of a raw string with `hashes` hashes.
+    fn scan_raw_string(&self, mut j: usize, hashes: usize) -> usize {
+        let n = self.b.len();
+        while j < n {
+            if self.b[j] == b'"' {
+                let mut k = 0;
+                while k < hashes && self.at(j + 1 + k) == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return j + 1 + hashes;
+                }
+            }
+            j += 1;
+        }
+        n
+    }
+
+    /// `j` just past the opening quote of a char-like literal. Escapes
+    /// (`\'`, `\\`, `\u{..}`) cannot hide the closing quote from this scan.
+    fn scan_char_like(&self, mut j: usize) -> usize {
+        let n = self.b.len();
+        while j < n {
+            match self.b[j] {
+                b'\\' => j += 2,
+                b'\'' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        n
+    }
+
+    fn scan_ident(&self, j: usize) -> usize {
+        let mut end = j;
+        for (off, ch) in self.text[j..].char_indices() {
+            if ch.is_alphanumeric() || ch == '_' {
+                end = j + off + ch.len_utf8();
+            } else {
+                break;
+            }
+        }
+        end
+    }
+
+    /// `j` at the first digit. Covers `0x1F`, `1_000u64`, `2.5e-3f64`,
+    /// but leaves `0..n` as NumLit + two Puncts (`.` not followed by a
+    /// digit stays punctuation).
+    fn scan_number(&self, mut j: usize) -> usize {
+        let n = self.b.len();
+        let alnum = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+        while j < n && alnum(self.b[j]) {
+            j += 1;
+        }
+        if j < n && self.b[j] == b'.' && self.at(j + 1).is_ascii_digit() {
+            j += 1;
+            while j < n && alnum(self.b[j]) {
+                j += 1;
+            }
+        }
+        if j > 0
+            && j < n
+            && (self.b[j] == b'+' || self.b[j] == b'-')
+            && matches!(self.b[j - 1], b'e' | b'E')
+            && self.at(j + 1).is_ascii_digit()
+        {
+            j += 1;
+            while j < n && alnum(self.b[j]) {
+                j += 1;
+            }
+        }
+        j
+    }
+
+    /// Literals that start with `r` or `b`. Returns `None` when the prefix
+    /// turns out to be an ordinary identifier (`rate`, `bytes`, `r#ident` —
+    /// the latter lexes as `r` `#` `ident`, fine for rule purposes).
+    fn raw_or_byte(&self, i: usize) -> Option<(TokKind, usize)> {
+        let c = self.b[i];
+        if c == b'b' && self.at(i + 1) == b'\'' {
+            return Some((TokKind::CharLit, self.scan_char_like(i + 2)));
+        }
+        if c == b'b' && self.at(i + 1) == b'"' {
+            return Some((TokKind::StrLit, self.scan_string(i + 2)));
+        }
+        let prefix = match (c, self.at(i + 1)) {
+            (b'r', _) => 1,
+            (b'b', b'r') => 2,
+            _ => return None,
+        };
+        let mut hashes = 0;
+        while self.at(i + prefix + hashes) == b'#' {
+            hashes += 1;
+        }
+        if self.at(i + prefix + hashes) != b'"' {
+            return None;
+        }
+        Some((TokKind::StrLit, self.scan_raw_string(i + prefix + hashes + 1, hashes)))
+    }
+
+    /// `start` at a `'`: decide char literal vs lifetime. The rule: after
+    /// an escape it is always a char; after a single ident-start character
+    /// it is a char only if the *next* char is the closing quote (`'a'`),
+    /// otherwise a lifetime (`'a`, `'static`, `'_`); anything else
+    /// (`'9'`, `' '`, `'é'`) is a char literal.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        let next = self.at(start + 1);
+        if next == b'\\' {
+            let end = self.scan_char_like(start + 1);
+            self.emit(TokKind::CharLit, start, end, line);
+        } else if is_ident_start(next) {
+            let after_one = start + 1 + self.char_len(start + 1);
+            if self.at(after_one) == b'\'' {
+                self.emit(TokKind::CharLit, start, after_one + 1, line);
+            } else {
+                let end = self.scan_ident(start + 1);
+                self.emit(TokKind::Lifetime, start, end, line);
+            }
+        } else if next == 0 || next == b'\n' || next == b'\'' {
+            // Stray quote (or `''`): punctuation, don't swallow the file.
+            self.emit(TokKind::Punct, start, start + 1, line);
+        } else {
+            let after_one = start + 1 + self.char_len(start + 1);
+            if self.at(after_one) == b'\'' {
+                self.emit(TokKind::CharLit, start, after_one + 1, line);
+            } else {
+                self.emit(TokKind::Punct, start, start + 1, line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "/* a /* b /* c */ */ d */ let x = 1;";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[0].1, "/* a /* b /* c */ */ d */");
+        assert_eq!(toks[1], (TokKind::Ident, "let".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_their_contents() {
+        let src = r####"let s = r##"quote " and "# inside"##; panic!()"####;
+        let toks = kinds(src);
+        let s = toks.iter().find(|(k, _)| *k == TokKind::StrLit).unwrap();
+        assert_eq!(s.1, r###"r##"quote " and "# inside"##"###);
+        // The panic! AFTER the raw string is still visible as an ident.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let src = "fn f<'a>(x: &'a str, c: char) { let c = 'a'; let u = '\\u{1F600}'; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.clone()).collect();
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::CharLit).map(|(_, t)| t.clone()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(chars, vec!["'a'", "'\\u{1F600}'"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let src = "fn g(x: &'static str) -> &'_ str { let y = '_'; x }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.clone()).collect();
+        assert_eq!(lifetimes, vec!["'static", "'_"]);
+        assert!(toks.contains(&(TokKind::CharLit, "'_'".to_string())));
+    }
+
+    #[test]
+    fn string_embedded_panic_is_not_an_ident() {
+        let src = r#"let msg = "call panic!(\"no\") and x.unwrap() here"; ok()"#;
+        let toks = kinds(src);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && (t == "panic" || t == "unwrap")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "ok"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_literals() {
+        let src = r##"let a = b"bytes"; let b = br#"raw " bytes"#; let c = b'\n';"##;
+        let toks = kinds(src);
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::StrLit).map(|(_, t)| t.clone()).collect();
+        assert_eq!(strs, vec![r#"b"bytes""#, r##"br#"raw " bytes"#"##]);
+        assert!(toks.contains(&(TokKind::CharLit, r"b'\n'".to_string())));
+    }
+
+    #[test]
+    fn idents_starting_with_r_and_b_stay_idents() {
+        let src = "let rate = bytes + rb + r; r#type";
+        let toks = kinds(src);
+        for name in ["rate", "bytes", "rb", "r"] {
+            assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == name), "{name}");
+        }
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::StrLit));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let src = "let x = 2.5e-3f64 + 0x1F + 1_000u64; let r = 0..n; a.0";
+        let toks = kinds(src);
+        let nums: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::NumLit).map(|(_, t)| t.clone()).collect();
+        assert_eq!(nums, vec!["2.5e-3f64", "0x1F", "1_000u64", "0", "0"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "/* one\ntwo */\nfn f() {\n    panic!(\"x\")\n}\n";
+        let toks = lex(src);
+        let f = toks.iter().find(|t| t.text(src) == "fn").unwrap();
+        assert_eq!(f.line, 3);
+        let p = toks.iter().find(|t| t.text(src) == "panic").unwrap();
+        assert_eq!(p.line, 4);
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let src = r"let q = '\''; let b = '\\';";
+        let toks = kinds(src);
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::CharLit).map(|(_, t)| t.clone()).collect();
+        assert_eq!(chars, vec![r"'\''", r"'\\'"]);
+    }
+}

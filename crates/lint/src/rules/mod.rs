@@ -1,0 +1,51 @@
+//! The invariant rules. Each rule walks one file's token stream at a time
+//! (`check`), and may do a workspace-level pass once every file has been
+//! seen (`finish` — used by the unsafe ledger to cross-check
+//! `UNSAFE_LEDGER.md` against the sites actually found).
+//!
+//! Adding a rule (see DESIGN.md "Static analysis"):
+//! 1. add a module here implementing [`Rule`],
+//! 2. register it in [`all_rules`],
+//! 3. add a positive + negative fixture in `tests/rule_fixtures.rs`,
+//! 4. document it in the DESIGN.md rule table.
+
+mod float_det;
+mod harness_allowlist;
+mod no_alloc;
+mod no_panic;
+mod unsafe_ledger;
+
+pub use float_det::FloatDeterminism;
+pub use harness_allowlist::HarnessAllowlist;
+pub use no_alloc::NoAllocInHotPath;
+pub use no_panic::NoPanicInComm;
+pub use unsafe_ledger::UnsafeLedger;
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Workspace-level inputs available to `finish`.
+pub struct WorkspaceCtx<'a> {
+    /// Contents of `UNSAFE_LEDGER.md` at the workspace root, if present.
+    pub unsafe_ledger: Option<&'a str>,
+}
+
+pub trait Rule {
+    fn id(&self) -> &'static str;
+    fn description(&self) -> &'static str;
+    /// Examine one file, appending findings.
+    fn check(&mut self, file: &SourceFile, out: &mut Vec<Finding>);
+    /// Called once after every file has been checked.
+    fn finish(&mut self, _ctx: &WorkspaceCtx<'_>, _out: &mut Vec<Finding>) {}
+}
+
+/// The full rule set, in documentation order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(HarnessAllowlist::default()),
+        Box::new(NoPanicInComm),
+        Box::new(NoAllocInHotPath),
+        Box::new(UnsafeLedger::default()),
+        Box::new(FloatDeterminism),
+    ]
+}

@@ -1,0 +1,86 @@
+//! **no-alloc-in-hot-path** — PR 1's zero-steady-state-allocation
+//! guarantee, machine-checked. Code inside `// lint:hot-path` regions (the
+//! elastic step loop, the element kernels, fold/ABC phases, the fem
+//! matvecs) may not construct or grow heap storage: at 3000 PEs an
+//! allocator call in the element loop is both a throughput cliff and a
+//! cross-rank jitter source.
+//!
+//! Matched forms: `Vec::new`/`with_capacity`/`from` (and the same on `Box`,
+//! `String`, `VecDeque`, `HashMap`, `HashSet`, `BTreeMap`), the `.to_vec()`
+//! / `.collect()` / `.clone()` / `.to_string()` / `.to_owned()` method
+//! calls, and the `format!` / `vec!` macros. `Vec::push` on preallocated
+//! scratch is deliberately NOT matched — the workspace pattern is "allocate
+//! in `new`, reuse in `step`", and push-into-capacity is how the scratch is
+//! reused. Test lines are exempt; one-time lazily-gated allocations carry a
+//! baseline entry with the justification inline.
+
+use super::Rule;
+use crate::source::SourceFile;
+use crate::Finding;
+
+const ALLOC_METHODS: &[&str] = &["to_vec", "collect", "clone", "to_string", "to_owned"];
+const ALLOC_TYPES: &[&str] =
+    &["Vec", "Box", "String", "VecDeque", "HashMap", "HashSet", "BTreeMap"];
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+pub struct NoAllocInHotPath;
+
+impl Rule for NoAllocInHotPath {
+    fn id(&self) -> &'static str {
+        "no-alloc-in-hot-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "no heap allocation inside lint:hot-path regions"
+    }
+
+    fn check(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !file.has_hot_region() {
+            return;
+        }
+        let code = file.code_indices();
+        for (k, &i) in code.iter().enumerate() {
+            let t = &file.tokens[i];
+            if !file.is_hot_line(t.line) || file.is_test_line(t.line) {
+                continue;
+            }
+            let text = file.tok_text(t);
+            let next_punct =
+                |c: char| code.get(k + 1).is_some_and(|&n| file.tokens[n].is_punct(&file.text, c));
+            let what = if ALLOC_METHODS.contains(&text)
+                && k > 0
+                && file.tokens[code[k - 1]].is_punct(&file.text, '.')
+                && (next_punct('(') || next_punct(':'))
+            {
+                // `.collect::<...>()` lexes `::` as two ':' puncts.
+                Some(format!(".{text}()"))
+            } else if ALLOC_TYPES.contains(&text)
+                && next_punct(':')
+                && code
+                    .get(k + 3)
+                    .is_some_and(|&n| ALLOC_CTORS.contains(&file.tok_text(&file.tokens[n])))
+            {
+                Some(format!("{}::{}", text, file.tok_text(&file.tokens[code[k + 3]])))
+            } else if ALLOC_MACROS.contains(&text) && next_punct('!') {
+                Some(format!("{text}!"))
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` in `{}` — hot-path regions must stay allocation-free \
+                         (preallocate in the workspace/scope, reuse per step): `{}`",
+                        what,
+                        "lint:hot-path",
+                        file.line_text(t.line).trim()
+                    ),
+                });
+            }
+        }
+    }
+}

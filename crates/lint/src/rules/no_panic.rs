@@ -1,0 +1,84 @@
+//! **no-panic-in-comm** — the recovery supervisor (PR 3) treats `CommError`
+//! as the only legitimate failure signal, and the checkpoint reader must
+//! survive arbitrary on-disk corruption. A panic anywhere in those paths
+//! turns a recoverable fault into a dead rank, so `unwrap()`, `expect()`,
+//! `panic!`, `unreachable!`, `todo!`, and `unimplemented!` are forbidden in:
+//!
+//! - `crates/parcomm/src/**` (the comm fabric itself),
+//! - `crates/solver/src/distributed.rs` (the SPMD driver + supervisor),
+//! - `crates/ckpt/src/**` (the checkpoint reader path must degrade to
+//!   `CkptError`, never abort — the writer lives in the same files),
+//! - `crates/inverse/src/checkpoint.rs` (resumable-inversion state I/O).
+//!
+//! `assert!`/`debug_assert!` on *caller contracts* (e.g. rank bounds) stay
+//! allowed: they document programmer error, not runtime failure. Test code
+//! is exempt. Deliberate fail-stop sites (the pre-recovery `Communicator`
+//! wrappers) are suppressed in `lint-baseline.txt` with the reason inline.
+
+use super::Rule;
+use crate::source::SourceFile;
+use crate::Finding;
+
+const SCOPE: &[&str] = &[
+    "crates/parcomm/src/",
+    "crates/solver/src/distributed.rs",
+    "crates/ckpt/src/",
+    "crates/inverse/src/checkpoint.rs",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub struct NoPanicInComm;
+
+pub fn in_comm_scope(path: &str) -> bool {
+    SCOPE.iter().any(|p| path == *p || (p.ends_with('/') && path.starts_with(p)))
+}
+
+impl Rule for NoPanicInComm {
+    fn id(&self) -> &'static str {
+        "no-panic-in-comm"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic!/unreachable! forbidden in comm, distributed, and checkpoint-reader code"
+    }
+
+    fn check(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !in_comm_scope(&file.path) {
+            return;
+        }
+        let code = file.code_indices();
+        for (k, &i) in code.iter().enumerate() {
+            let t = &file.tokens[i];
+            let text = file.tok_text(t);
+            let hit = match text {
+                // `.unwrap(` / `.expect(` — method calls only, so a local
+                // named `unwrap` or an `expect` field cannot trip this.
+                "unwrap" | "expect" => {
+                    k > 0
+                        && file.tokens[code[k - 1]].is_punct(&file.text, '.')
+                        && code
+                            .get(k + 1)
+                            .is_some_and(|&n| file.tokens[n].is_punct(&file.text, '('))
+                }
+                // `panic!(` etc — macro invocations only.
+                _ if PANIC_MACROS.contains(&text) => {
+                    code.get(k + 1).is_some_and(|&n| file.tokens[n].is_punct(&file.text, '!'))
+                }
+                _ => false,
+            };
+            if hit && !file.is_test_line(t.line) {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` — panics are forbidden in comm/recovery/checkpoint-reader code; \
+                         propagate CommError, CkptError, or io::Result instead",
+                        file.line_text(t.line).trim()
+                    ),
+                });
+            }
+        }
+    }
+}

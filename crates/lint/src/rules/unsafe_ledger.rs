@@ -1,0 +1,132 @@
+//! **unsafe-ledger** — every `unsafe` in library code must carry its proof
+//! obligation in two places:
+//!
+//! 1. **At the site**: a `// SAFETY:` comment (or a `/// # Safety` doc
+//!    section for `unsafe fn`) within the few lines above the keyword,
+//!    stating the argument — for the solver's element scatters, the
+//!    node-disjoint-coloring argument.
+//! 2. **In the ledger**: a bullet under the file's `## path` section in the
+//!    checked-in `UNSAFE_LEDGER.md`, so the full unsafe surface is visible
+//!    in one reviewable document and every new site is a diff to it.
+//!
+//! The ledger is cross-checked both ways in `finish`: a file whose
+//! bullet count does not match its actual site count is a finding (missing
+//! entry), and a ledger section for a file with no unsafe left is a finding
+//! too (stale ledger — delete the section when you delete the unsafe).
+//! Test code is exempt from the site check and excluded from the counts.
+
+use super::{Rule, WorkspaceCtx};
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// How many lines above an `unsafe` keyword the SAFETY comment may sit
+/// (covers an attribute + multi-line comment between the two).
+const SAFETY_SEARCH_LINES: u32 = 14;
+
+#[derive(Default)]
+pub struct UnsafeLedger {
+    /// (file path, line of each non-test `unsafe` keyword).
+    sites: Vec<(String, u32)>,
+}
+
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    let lo = line.saturating_sub(SAFETY_SEARCH_LINES).max(1);
+    (lo..=line).any(|l| {
+        let t = file.line_text(l);
+        t.contains("SAFETY") || t.contains("# Safety")
+    })
+}
+
+impl Rule for UnsafeLedger {
+    fn id(&self) -> &'static str {
+        "unsafe-ledger"
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe needs a SAFETY comment and an UNSAFE_LEDGER.md entry"
+    }
+
+    fn check(&mut self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !(file.path.starts_with("crates/") || file.path.starts_with("src/")) {
+            return;
+        }
+        for t in &file.tokens {
+            if file.tok_text(t) != "unsafe" || file.is_test_line(t.line) {
+                continue;
+            }
+            self.sites.push((file.path.clone(), t.line));
+            if !has_safety_comment(file, t.line) {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`unsafe` without a SAFETY comment — state the soundness argument \
+                         in a `// SAFETY:` comment directly above: `{}`",
+                        file.line_text(t.line).trim()
+                    ),
+                });
+            }
+        }
+    }
+
+    fn finish(&mut self, ctx: &WorkspaceCtx<'_>, out: &mut Vec<Finding>) {
+        // Count sites per file, in first-seen order.
+        let mut counts: Vec<(String, u32, usize)> = Vec::new();
+        for (path, line) in &self.sites {
+            match counts.iter_mut().find(|(p, _, _)| p == path) {
+                Some((_, _, n)) => *n += 1,
+                None => counts.push((path.clone(), *line, 1)),
+            }
+        }
+
+        let ledger = parse_ledger(ctx.unsafe_ledger.unwrap_or(""));
+
+        for (path, first_line, n_sites) in &counts {
+            let n_ledger = ledger.iter().find(|(p, _)| p == path).map_or(0, |(_, n)| *n);
+            if n_ledger != *n_sites {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: path.clone(),
+                    line: *first_line,
+                    message: format!(
+                        "UNSAFE_LEDGER.md lists {n_ledger} site(s) for this file but the \
+                         source has {n_sites} — add one `- ` bullet per unsafe site under \
+                         a `## {path}` section"
+                    ),
+                });
+            }
+        }
+        for (path, _) in &ledger {
+            if !counts.iter().any(|(p, _, _)| p == path) {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: "UNSAFE_LEDGER.md".to_string(),
+                    line: 1,
+                    message: format!(
+                        "stale ledger section `## {path}` — the file has no unsafe sites \
+                         (or was not scanned); delete the section"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Parse the ledger: `## <path>` headings, `- ` bullets under each.
+fn parse_ledger(text: &str) -> Vec<(String, usize)> {
+    let mut sections: Vec<(String, usize)> = Vec::new();
+    let mut current: Option<usize> = None;
+    for line in text.lines() {
+        let line = line.trim_end();
+        if let Some(path) = line.strip_prefix("## ") {
+            sections.push((path.trim().to_string(), 0));
+            current = Some(sections.len() - 1);
+        } else if line.trim_start().starts_with("- ") {
+            if let Some(i) = current {
+                sections[i].1 += 1;
+            }
+        }
+    }
+    sections
+}

@@ -1,0 +1,209 @@
+//! One positive (rule fires on a seeded violation) and one negative (rule
+//! stays silent on clean code) fixture per rule, plus the baseline and
+//! ledger cross-check behaviors. Fixtures are synthetic `SourceFile`s with
+//! in-scope paths — no filesystem involved, so each case states exactly
+//! the code shape it pins.
+
+use quake_lint::rules::{
+    FloatDeterminism, HarnessAllowlist, NoAllocInHotPath, NoPanicInComm, Rule, UnsafeLedger,
+    WorkspaceCtx,
+};
+use quake_lint::{Finding, SourceFile};
+
+fn run_rule(rule: &mut dyn Rule, path: &str, src: &str) -> Vec<Finding> {
+    let f = SourceFile::parse(path, src.to_string());
+    let mut out = Vec::new();
+    rule.check(&f, &mut out);
+    out
+}
+
+fn run_with_finish(
+    rule: &mut dyn Rule,
+    files: &[(&str, &str)],
+    ledger: Option<&str>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (path, src) in files {
+        let f = SourceFile::parse(path, src.to_string());
+        rule.check(&f, &mut out);
+    }
+    rule.finish(&WorkspaceCtx { unsafe_ledger: ledger }, &mut out);
+    out
+}
+
+// ---- harness-allowlist -------------------------------------------------
+
+#[test]
+fn harness_allowlist_fires_on_new_run_variant() {
+    let out = run_rule(
+        &mut HarnessAllowlist::default(),
+        "crates/solver/src/experiments.rs",
+        "pub fn run_my_experiment() {}\n",
+    );
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].rule, "harness-allowlist");
+    assert!(out[0].message.contains("run_my_experiment"));
+}
+
+#[test]
+fn harness_allowlist_silent_on_allowed_and_quoted_names() {
+    let mut rule = HarnessAllowlist::default();
+    // Allowlisted file + name.
+    assert!(run_rule(&mut rule, "crates/parcomm/src/lib.rs", "pub fn run_spmd() {}\n").is_empty());
+    // Wildcard file.
+    assert!(run_rule(&mut rule, "crates/solver/src/harness.rs", "pub fn run_anything() {}\n")
+        .is_empty());
+    // Non-pub helper, doc-comment mention, string mention: all fine.
+    let src = "/// like `pub fn run_x` but private\n\
+               fn run_helper() {}\n\
+               const S: &str = \"pub fn run_fake\";\n";
+    assert!(run_rule(&mut rule, "crates/solver/src/lib.rs", src).is_empty());
+    assert_eq!(rule.seen, 2, "only real definitions count toward seen");
+}
+
+// ---- no-panic-in-comm --------------------------------------------------
+
+#[test]
+fn no_panic_fires_on_unwrap_expect_and_macros_in_scope() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   let v = x.unwrap();\n\
+                   let w = compute().expect(\"io\");\n\
+                   if v == 0 { panic!(\"zero\") }\n\
+                   match v { 1 => w, _ => unreachable!() }\n\
+               }\n";
+    let out = run_rule(&mut NoPanicInComm, "crates/parcomm/src/lib.rs", src);
+    let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![2, 3, 4, 5]);
+    assert!(out.iter().all(|f| f.rule == "no-panic-in-comm"));
+}
+
+#[test]
+fn no_panic_silent_out_of_scope_in_tests_and_in_strings() {
+    // Out of scope entirely.
+    assert!(run_rule(
+        &mut NoPanicInComm,
+        "crates/solver/src/elastic.rs",
+        "fn f() { x.unwrap(); }\n"
+    )
+    .is_empty());
+    // In scope, but test module / string / assert are all fine.
+    let src = "pub fn f() { assert!(true, \"contract\"); }\n\
+               const HELP: &str = \"do not panic!(...) or x.unwrap() here\";\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() { x.unwrap(); panic!(\"fine in tests\"); }\n\
+               }\n";
+    assert!(run_rule(&mut NoPanicInComm, "crates/ckpt/src/format.rs", src).is_empty());
+}
+
+// ---- no-alloc-in-hot-path ----------------------------------------------
+
+#[test]
+fn no_alloc_fires_inside_hot_region() {
+    let src = "// lint:hot-path\n\
+               fn kernel(xs: &[f64]) -> Vec<f64> {\n\
+                   let a = xs.to_vec();\n\
+                   let b: Vec<f64> = xs.iter().copied().collect();\n\
+                   let c = Vec::new();\n\
+                   let d = format!(\"{}\", xs.len());\n\
+                   a\n\
+               }\n\
+               // lint:hot-path-end\n";
+    let out = run_rule(&mut NoAllocInHotPath, "crates/solver/src/kern.rs", src);
+    let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![3, 4, 5, 6]);
+    assert!(out.iter().all(|f| f.rule == "no-alloc-in-hot-path"));
+}
+
+#[test]
+fn no_alloc_silent_outside_region_and_for_push_reuse() {
+    let src = "fn setup() -> Vec<f64> { vec![0.0; 8] }\n\
+               // lint:hot-path\n\
+               fn kernel(scratch: &mut Vec<f64>, x: f64) {\n\
+                   scratch.push(x);\n\
+                   let y = x.max(0.0);\n\
+                   scratch[0] = y;\n\
+               }\n\
+               // lint:hot-path-end\n\
+               fn teardown(v: Vec<f64>) -> Vec<f64> { v.clone() }\n";
+    assert!(run_rule(&mut NoAllocInHotPath, "crates/solver/src/kern.rs", src).is_empty());
+}
+
+// ---- unsafe-ledger -----------------------------------------------------
+
+const UNSAFE_SRC_NO_SAFETY: &str = "pub fn f(p: *mut f64) {\n\
+                                        unsafe { *p = 1.0 };\n\
+                                    }\n";
+
+const UNSAFE_SRC_WITH_SAFETY: &str = "pub fn f(p: *mut f64) {\n\
+                                          // SAFETY: p is the only live pointer (caller contract).\n\
+                                          unsafe { *p = 1.0 };\n\
+                                      }\n";
+
+#[test]
+fn unsafe_ledger_fires_on_missing_safety_comment_and_missing_entry() {
+    let out = run_with_finish(
+        &mut UnsafeLedger::default(),
+        &[("crates/x/src/lib.rs", UNSAFE_SRC_NO_SAFETY)],
+        None,
+    );
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert!(out[0].message.contains("SAFETY"));
+    assert!(out[1].message.contains("UNSAFE_LEDGER.md"));
+}
+
+#[test]
+fn unsafe_ledger_silent_when_comment_and_ledger_agree() {
+    let ledger = "# Unsafe ledger\n\n## crates/x/src/lib.rs\n\n- raw store in f: caller contract\n";
+    let out = run_with_finish(
+        &mut UnsafeLedger::default(),
+        &[("crates/x/src/lib.rs", UNSAFE_SRC_WITH_SAFETY)],
+        Some(ledger),
+    );
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn unsafe_ledger_flags_stale_section_and_count_mismatch() {
+    let ledger = "## crates/x/src/lib.rs\n- one\n- two (stale: only one site)\n\
+                  ## crates/gone/src/lib.rs\n- whole section stale\n";
+    let out = run_with_finish(
+        &mut UnsafeLedger::default(),
+        &[("crates/x/src/lib.rs", UNSAFE_SRC_WITH_SAFETY)],
+        Some(ledger),
+    );
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert!(out.iter().any(|f| f.message.contains("lists 2 site(s)")));
+    assert!(out.iter().any(|f| f.message.contains("stale ledger section")));
+}
+
+// ---- float-determinism -------------------------------------------------
+
+#[test]
+fn float_determinism_fires_on_casts_hash_iteration_and_time() {
+    let src = "// lint:hot-path\n\
+               fn kernel(n: usize, m: &HashMap<u32, f64>) -> f64 {\n\
+                   let x = n as f64;\n\
+                   let t = Instant::now();\n\
+                   x\n\
+               }\n\
+               // lint:hot-path-end\n";
+    let out = run_rule(&mut FloatDeterminism, "crates/solver/src/kern.rs", src);
+    let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![2, 3, 4]);
+    assert!(out.iter().all(|f| f.rule == "float-determinism"));
+}
+
+#[test]
+fn float_determinism_silent_on_int_casts_and_cold_code() {
+    let src = "fn cold(n: usize) -> f64 { n as f64 }\n\
+               // lint:hot-path\n\
+               fn kernel(ei: u32, xs: &[f64]) -> f64 {\n\
+                   let i = ei as usize;\n\
+                   let w = f64::from(1u8);\n\
+                   xs[i] + w\n\
+               }\n\
+               // lint:hot-path-end\n";
+    assert!(run_rule(&mut FloatDeterminism, "crates/solver/src/kern.rs", src).is_empty());
+}

@@ -210,6 +210,9 @@ impl HexMesh {
         self.constraints.len()
     }
 
+    // lint:hot-path — hanging-node fold/interpolate run on every vector in
+    // every step (and inside CG); they may not allocate or branch on
+    // anything nondeterministic.
     /// Fold hanging entries of a force-like vector into their masters
     /// (`f <- B^T f`); hanging entries are zeroed. `ncomp` components per
     /// node, node-major (`dof = ncomp*node + comp`).
@@ -257,6 +260,7 @@ impl HexMesh {
             }
         }
     }
+    // lint:hot-path-end
 
     /// Node id nearest to a physical point (for receiver placement).
     pub fn nearest_node(&self, p: [f64; 3]) -> u32 {

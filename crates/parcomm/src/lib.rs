@@ -288,15 +288,18 @@ pub fn run_spmd<R: Send>(n_ranks: usize, f: impl Fn(&Communicator) -> R + Sync) 
     assert!(n_ranks > 0);
     // Channel matrix: chan[i][j] carries i -> j. The diagonal (self)
     // channels are created but never used — `send` asserts `to != rank`.
-    let mut senders: Vec<Vec<Option<Sender<Message>>>> =
-        (0..n_ranks).map(|_| (0..n_ranks).map(|_| None).collect()).collect();
-    let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
-        (0..n_ranks).map(|_| (0..n_ranks).map(|_| None).collect()).collect();
+    // Rows are built by pushing in ascending order of the opposite index
+    // (receivers[j] gains one entry per i, in i order), so both matrices
+    // come out fully populated with no Option/unwrap step.
+    let mut senders: Vec<Vec<Sender<Message>>> =
+        (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
+    let mut receivers: Vec<Vec<Receiver<Message>>> =
+        (0..n_ranks).map(|_| Vec::with_capacity(n_ranks)).collect();
     for i in 0..n_ranks {
         for j in 0..n_ranks {
             let (s, r) = channel();
-            senders[i][j] = Some(s);
-            receivers[j][i] = Some(r);
+            senders[i].push(s); // senders[i][j]
+            receivers[j].push(r); // receivers[j][i]
         }
     }
     let barrier = Arc::new(Barrier::new(n_ranks));
@@ -305,8 +308,8 @@ pub fn run_spmd<R: Send>(n_ranks: usize, f: impl Fn(&Communicator) -> R + Sync) 
         comms.push(Communicator {
             rank,
             size: n_ranks,
-            senders: srow.into_iter().map(|s| s.unwrap()).collect(),
-            receivers: rrow.into_iter().map(|r| r.unwrap()).collect(),
+            senders: srow,
+            receivers: rrow,
             barrier: barrier.clone(),
         });
     }

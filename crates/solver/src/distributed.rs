@@ -362,7 +362,13 @@ pub fn run_distributed_recoverable(
 
         let runs = run_spmd(n_ranks, |comm: &Communicator| {
             let rank = comm.rank();
-            let state = slots[rank].lock().unwrap().take().expect("state slot taken twice");
+            // A poisoned or already-drained slot means another incarnation of
+            // this rank ran in the same attempt — abort the rank (the
+            // supervisor treats it like any other failed rank) rather than
+            // panicking mid-exchange.
+            let Some(state) = slots[rank].lock().ok().and_then(|mut slot| slot.take()) else {
+                return RankRun::Aborted { step: 0, reason: "rank state slot unavailable".into() };
+            };
             run_rank_recoverable(
                 solver,
                 &setup,
@@ -399,11 +405,13 @@ pub fn run_distributed_recoverable(
             reg.set("recover/attempts", (attempt + 1) as u64);
             reg.set("recover/recoveries", recoveries as u64);
             reg.set("recover/restored_step", restored_step);
+            // `finished` established every run is Finished; filter_map keeps
+            // this arm panic-free regardless.
             let states = runs
                 .into_iter()
-                .map(|r| match r {
-                    RankRun::Finished(s) => (s.u_prev, s.u_now),
-                    _ => unreachable!(),
+                .filter_map(|r| match r {
+                    RankRun::Finished(s) => Some((s.u_prev, s.u_now)),
+                    _ => None,
                 })
                 .collect();
             return Ok(RecoveredRun {

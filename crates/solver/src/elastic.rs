@@ -414,6 +414,11 @@ impl<'m> ElasticSolver<'m> {
         self.step_scoped(&self.full_scope, u_prev, u_now, f_ext, u_next, ws, |_| {});
     }
 
+    // lint:hot-path — the explicit step and its element kernels. The
+    // steady state must stay allocation-free (PR 1's guarantee; scratch
+    // lives in StepWorkspace/StepScope) and bit-deterministic across
+    // thread counts and ranks. quake-lint enforces both until the
+    // matching end marker below.
     /// The step over a [`StepScope`] with a mid-step exchange hook — the
     /// building block of the distributed solver. The scope selects the
     /// elements (and their boundary faces) this rank assembles; `f_ext` must
@@ -645,9 +650,10 @@ impl<'m> ElasticSolver<'m> {
             return;
         }
 
-        // Raw shared pointer to rhs: sound because elements within a color
-        // have pairwise disjoint node sets, so no two threads ever write the
-        // same entry between barriers.
+        // SAFETY: sharing a raw `*mut f64` to rhs across threads is sound
+        // because the coloring is node-disjoint — elements within a color
+        // have pairwise disjoint node sets, so no two threads ever write
+        // the same entry between barriers (UNSAFE_LEDGER.md).
         struct RhsPtr(*mut f64);
         unsafe impl Sync for RhsPtr {}
         let ptr = RhsPtr(rhs.as_mut_ptr());
@@ -684,7 +690,10 @@ impl<'m> ElasticSolver<'m> {
     ///
     /// # Safety
     /// `rhs` must point to a live `3 * n_nodes` buffer and no other thread
-    /// may concurrently access this element's node entries.
+    /// may concurrently access this element's node entries. The threaded
+    /// sweep discharges this via the node-disjoint coloring: within a color
+    /// no two elements share a node, and the inter-color barrier orders
+    /// everything else (see UNSAFE_LEDGER.md).
     #[cfg(feature = "parallel")]
     unsafe fn element_update_raw(&self, ei: u32, u_now: &[f64], w: &[f64], rhs: *mut f64) {
         let i = ei as usize;
@@ -718,6 +727,7 @@ impl<'m> ElasticSolver<'m> {
             }
         }
     }
+    // lint:hot-path-end
 
     /// Run the full simulation with the given sources and receiver nodes.
     /// `u0`/`v0` optionally set an initial state (e.g. a plane-wave pulse).

@@ -1,70 +1,34 @@
 //! Guard against the run-variant explosion creeping back.
 //!
-//! Every public `run_*` entry point must delegate to the one
-//! `SolverHarness` step loop; new `pub fn run_*` definitions outside the
-//! allowlist below fail this test (CI runs it in the lint job). Add a
-//! variant here only if it is a genuinely new *workflow*, not a new
-//! combination of hooks — combinations belong in `RunConfig` + `StepHook`s.
+//! The logic lives in quake-lint's `harness-allowlist` rule (one place,
+//! token-based, shared with `cargo run -p quake-lint -- --deny` in CI);
+//! this test is the thin tier-1 wrapper that runs just that rule over the
+//! real tree. Add an allowlist entry (in
+//! `crates/lint/src/rules/harness_allowlist.rs`) only for a genuinely new
+//! *workflow* — new combinations of behavior belong in `RunConfig` +
+//! `StepHook`s.
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else { return };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
+use quake_lint::rules::{HarnessAllowlist, Rule};
 
 #[test]
 fn no_new_public_run_variants_outside_the_harness() {
-    // (file, allowed names); "*" allows the whole file (the harness module).
-    let allowed: &[(&str, &[&str])] = &[
-        ("crates/parcomm/src/lib.rs", &["run_spmd"]),
-        ("crates/solver/src/harness.rs", &["*"]),
-        ("crates/solver/src/distributed.rs", &["run_distributed", "run_distributed_recoverable"]),
-        ("crates/solver/src/tet.rs", &["run_to_state"]),
-        ("crates/core/src/forward.rs", &["run_forward"]),
-    ];
-
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let mut files = Vec::new();
-    rs_files(&root.join("crates"), &mut files);
-    rs_files(&root.join("src"), &mut files);
+    let files = quake_lint::collect_files(root);
     assert!(!files.is_empty(), "source scan found nothing — wrong root?");
 
-    let mut violations = Vec::new();
-    let mut seen = 0usize;
-    for file in files {
-        let rel = file.strip_prefix(root).unwrap().to_string_lossy().replace('\\', "/");
-        let text = std::fs::read_to_string(&file).unwrap();
-        for (lineno, line) in text.lines().enumerate() {
-            let Some(pos) = line.find("pub fn run_") else { continue };
-            let name: String = line[pos + "pub fn ".len()..]
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            seen += 1;
-            let ok = allowed.iter().any(|(f, names)| {
-                *f == rel && (names.contains(&"*") || names.contains(&name.as_str()))
-            });
-            if !ok {
-                violations.push(format!("{rel}:{}: pub fn {name}", lineno + 1));
-            }
-        }
+    let mut rule = HarnessAllowlist::default();
+    let mut findings = Vec::new();
+    for f in &files {
+        rule.check(f, &mut findings);
     }
-    assert!(seen >= 5, "the scan no longer sees the known entry points ({seen})");
+
+    assert!(rule.seen >= 5, "the scan no longer sees the known entry points ({})", rule.seen);
     assert!(
-        violations.is_empty(),
+        findings.is_empty(),
         "new public run_* variant(s) outside the harness — route them through \
          SolverHarness/RunConfig instead:\n{}",
-        violations.join("\n")
+        findings.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n")
     );
 }
