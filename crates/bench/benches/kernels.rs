@@ -77,6 +77,8 @@ fn bench_solver_step_hex_vs_tet() {
     let hex = ElasticSolver::new(&m, &cfg);
     let tet = TetSolver::new(&m, 0.02, [false; 6]);
     let ndof = 3 * m.n_nodes();
+    // Synthetic state: hex `step_with` reads planar dofs, tet `step` reads
+    // interleaved; the data here is layout-agnostic filler, timed only.
     let u_prev = vec![0.01; ndof];
     let u_now: Vec<f64> = (0..ndof).map(|i| (i as f64 * 0.1).sin() * 0.01).collect();
     let f = vec![0.0; ndof];

@@ -18,8 +18,8 @@ use quake_solver::{ElasticConfig, ElasticSolver, SolverHarness};
 /// error against d'Alembert along the center line.
 fn homogeneous_error(level: u8) -> (usize, f64) {
     let l = 16.0;
-    let (lambda, mu, rho) = (2.0, 1.0, 1.0);
-    let vs = (mu / rho as f64).sqrt();
+    let (lambda, mu, rho): (f64, f64, f64) = (2.0, 1.0, 1.0);
+    let vs = (mu / rho).sqrt();
     let mesh = HexMesh::from_octree(&LinearOctree::uniform(level), l, |_, _, _, _| ElemMaterial {
         lambda,
         mu,

@@ -51,19 +51,22 @@ fn main() {
     let mut ws = solver.workspace();
     let mut peak = vec![0.0f64; n * n];
     let mut next_snap = 0usize;
+    let nn = mesh.n_nodes();
     for k in 0..solver.n_steps {
         let t = k as f64 * solver.dt;
         f.iter_mut().for_each(|v| *v = 0.0);
         for s in &sources {
-            s.add_force(t, &mut f);
+            s.add_force_planar(t, &mut f);
         }
         solver.step_with(&up, &unow, &f, &mut unext, &mut ws);
-        // Track peak surface velocity magnitude.
+        // Track peak surface velocity magnitude (planar layout:
+        // dof = comp * n_nodes + node).
         for (pix, &nd) in surface.iter().enumerate() {
-            let b = nd as usize * 3;
+            let nd = nd as usize;
             let mut v2 = 0.0;
             for c in 0..3 {
-                let v = (unext[b + c] - up[b + c]) / (2.0 * solver.dt);
+                let d = c * nn + nd;
+                let v = (unext[d] - up[d]) / (2.0 * solver.dt);
                 v2 += v * v;
             }
             peak[pix] = peak[pix].max(v2.sqrt());
@@ -72,10 +75,11 @@ fn main() {
             let snap: Vec<f64> = surface
                 .iter()
                 .map(|&nd| {
-                    let b = nd as usize * 3;
+                    let nd = nd as usize;
                     (0..3)
                         .map(|c| {
-                            let v = (unext[b + c] - up[b + c]) / (2.0 * solver.dt);
+                            let d = c * nn + nd;
+                            let v = (unext[d] - up[d]) / (2.0 * solver.dt);
                             v * v
                         })
                         .sum::<f64>()

@@ -99,7 +99,7 @@ fn main() {
     let ppe_ref = mesh.n_nodes() as f64 / p_ref as f64;
     let vol_ref =
         (0..p_ref).map(|r| plan_ref.exchange_volume(r)).sum::<usize>() as f64 / p_ref as f64;
-    let nbr_ref = ((0..p_ref).map(|r| plan_ref.plans[r].len()).sum::<usize>() + p_ref - 1) / p_ref;
+    let nbr_ref = (0..p_ref).map(|r| plan_ref.plans[r].len()).sum::<usize>().div_ceil(p_ref);
     // Work imbalance: owned nodes per rank.
     let work_imbalance = {
         let mut owner = vec![u32::MAX; mesh.n_nodes()];

@@ -132,6 +132,28 @@ pub fn lumped_hex_mass(rho: f64, h: f64) -> f64 {
     rho * h * h * h / 8.0
 }
 
+/// Combined stiffness template `T = h (lambda K_L + mu K_M)` as a flat
+/// row-major 24x24 matrix (`t[r * 24 + c]`).
+///
+/// On an octree mesh every element of a given level has the same side `h`,
+/// so elements sharing `(h, lambda, mu)` share this exact matrix. The solver
+/// precomputes one template per distinct class (a handful per mesh: levels x
+/// materials) and the element sweep applies a single 24x24 matvec against
+/// it, instead of combining the two canonical matrices on the fly — half the
+/// flops and half the matrix traffic per element.
+///
+/// Build-time only; the per-step kernel lives in `quake-solver`.
+pub fn combined_hex_stiffness(lambda: f64, mu: f64, h: f64) -> [f64; 576] {
+    let m = elastic_hex_matrices();
+    let mut t = [0.0; 576];
+    for r in 0..24 {
+        for c in 0..24 {
+            t[r * 24 + c] = h * (lambda * m.k_lambda[r][c] + mu * m.k_mu[r][c]);
+        }
+    }
+    t
+}
+
 #[inline(always)]
 fn sum4(a: [f64; 4]) -> f64 {
     (a[0] + a[1]) + (a[2] + a[3])
@@ -402,6 +424,46 @@ mod tests {
         // Same per-vector accumulation order => bit-identical.
         assert_eq!(yu, yu2);
         assert_eq!(yw, yw2);
+    }
+
+    #[test]
+    fn combined_template_times_x_matches_per_element_matvec() {
+        // Property: for every octree level's h and heterogeneous (lambda, mu),
+        // a single matvec against the combined template reproduces the
+        // canonical per-element stiffness matvec to <= 1e-13 (relative).
+        let m = elastic_hex_matrices();
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for level in 0..8 {
+            let h = 8.0 / (1u64 << level) as f64;
+            for (lambda, mu) in [(2.0, 1.0), (5.4, 0.3), (0.9, 2.7)] {
+                let t = combined_hex_stiffness(lambda, mu, h);
+                let k = full_k(lambda, mu, h);
+                let mut x = [0.0; 24];
+                for v in &mut x {
+                    *v = next();
+                }
+                let mut y_ref = [0.0; 24];
+                elastic_matvec(m, lambda, mu, h, &x, &mut y_ref);
+                for r in 0..24 {
+                    let yt: f64 = (0..24).map(|c| t[r * 24 + c] * x[c]).sum();
+                    let yk: f64 = (0..24).map(|c| k[r][c] * x[c]).sum();
+                    // Template entries equal the explicit K entries bit-exactly
+                    // (same arithmetic), so the matvecs agree bit-exactly too.
+                    assert_eq!(yt.to_bits(), yk.to_bits(), "level {level} row {r}");
+                    let scale = x.iter().map(|v| v.abs()).fold(0.0f64, f64::max)
+                        * t[r * 24..r * 24 + 24].iter().map(|v| v.abs()).sum::<f64>();
+                    assert!(
+                        (yt - y_ref[r]).abs() <= 1e-13 * scale.max(1e-300),
+                        "level {level} ({lambda},{mu}) row {r}: {yt} vs {}",
+                        y_ref[r]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@ fn hot_path_regions_exist_where_the_guarantees_live() {
     let files = quake_lint::collect_files(workspace_root());
     for expected in [
         "crates/solver/src/elastic.rs",
+        "crates/solver/src/sweep.rs",
         "crates/solver/src/abc.rs",
         "crates/mesh/src/hexmesh.rs",
         "crates/fem/src/hex8.rs",

@@ -260,6 +260,43 @@ impl HexMesh {
             }
         }
     }
+
+    /// [`fold_hanging`](Self::fold_hanging) for planar (structure-of-arrays)
+    /// storage: component planes of `n_nodes` values each, `dof = comp *
+    /// n_nodes + node`. Per-dof arithmetic and accumulation order are
+    /// identical to the node-major variant — only the indexing differs — so
+    /// each dof's result is bit-identical to folding the interleaved vector.
+    pub fn fold_hanging_planar(&self, f: &mut [f64], ncomp: usize) {
+        let n = self.n_nodes();
+        assert_eq!(f.len(), n * ncomp);
+        for c in &self.constraints {
+            for comp in 0..ncomp {
+                let v = f[comp * n + c.node as usize];
+                if v != 0.0 {
+                    for &(m, w) in &c.masters {
+                        f[comp * n + m as usize] += w * v;
+                    }
+                }
+                f[comp * n + c.node as usize] = 0.0;
+            }
+        }
+    }
+
+    /// [`interpolate_hanging`](Self::interpolate_hanging) for planar
+    /// (structure-of-arrays) storage (`dof = comp * n_nodes + node`).
+    pub fn interpolate_hanging_planar(&self, u: &mut [f64], ncomp: usize) {
+        let n = self.n_nodes();
+        assert_eq!(u.len(), n * ncomp);
+        for c in &self.constraints {
+            for comp in 0..ncomp {
+                let mut v = 0.0;
+                for &(m, w) in &c.masters {
+                    v += w * u[comp * n + m as usize];
+                }
+                u[comp * n + c.node as usize] = v;
+            }
+        }
+    }
     // lint:hot-path-end
 
     /// Node id nearest to a physical point (for receiver placement).
@@ -484,6 +521,44 @@ mod tests {
         m.interpolate_hanging(&mut bu, 1);
         let rhs: f64 = f.iter().zip(&bu).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-12 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn planar_fold_and_interpolate_match_interleaved_bitwise() {
+        let (_, m) = one_refined();
+        let n = m.n_nodes();
+        let ncomp = 3;
+        let mut s = 987654321u64;
+        let mut rnd = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let inter: Vec<f64> = (0..n * ncomp).map(|_| rnd()).collect();
+        // Planar copy of the same field: dof = comp * n + node.
+        let mut planar = vec![0.0; n * ncomp];
+        for nd in 0..n {
+            for c in 0..ncomp {
+                planar[c * n + nd] = inter[nd * ncomp + c];
+            }
+        }
+        let mut fi = inter.clone();
+        let mut fp = planar.clone();
+        m.fold_hanging(&mut fi, ncomp);
+        m.fold_hanging_planar(&mut fp, ncomp);
+        for nd in 0..n {
+            for c in 0..ncomp {
+                assert_eq!(fi[nd * ncomp + c].to_bits(), fp[c * n + nd].to_bits());
+            }
+        }
+        let mut ui = inter;
+        let mut up = planar;
+        m.interpolate_hanging(&mut ui, ncomp);
+        m.interpolate_hanging_planar(&mut up, ncomp);
+        for nd in 0..n {
+            for c in 0..ncomp {
+                assert_eq!(ui[nd * ncomp + c].to_bits(), up[c * n + nd].to_bits());
+            }
+        }
     }
 
     #[test]

@@ -91,7 +91,7 @@ mod tests {
         let g = s.vs_grid(64, 64);
         let min = g.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = g.iter().cloned().fold(0.0, f64::max);
-        assert!(min >= 900.0 && min < 1300.0, "min {min}");
+        assert!((900.0..1300.0).contains(&min), "min {min}");
         assert!(max > 3400.0 && max <= 3600.0, "max {max}");
     }
 

@@ -123,6 +123,40 @@ pub fn apply_abc_stiffness(faces: &[AbcFace], u: &[f64], force: &mut [f64], scal
         }
     }
 }
+
+/// [`apply_abc_stiffness`] for planar (structure-of-arrays) vectors:
+/// `dof = axis * n_nodes + node` with `n_nodes = u.len() / 3`. Per-face
+/// arithmetic is identical to the node-major variant — only the
+/// gather/scatter indexing differs — so every dof receives a bit-identical
+/// contribution.
+pub fn apply_abc_stiffness_planar(faces: &[AbcFace], u: &[f64], force: &mut [f64], scale: f64) {
+    let n = u.len() / 3;
+    let fnd = quad4_n_dn_unit();
+    for f in faces {
+        let mut un = [0.0; 4];
+        let mut ut = [[0.0; 4]; 2];
+        for (c, &nd) in f.nodes.iter().enumerate() {
+            let nd = nd as usize;
+            un[c] = f.normal_sign * u[f.normal_axis * n + nd];
+            ut[0][c] = u[f.tangent_axes[0] * n + nd];
+            ut[1][c] = u[f.tangent_axes[1] * n + nd];
+        }
+        for (r, &nd) in f.nodes.iter().enumerate() {
+            let nd = nd as usize;
+            let mut div = 0.0;
+            let mut dn0 = 0.0;
+            let mut dn1 = 0.0;
+            for c in 0..4 {
+                div += fnd[0][r][c] * ut[0][c] + fnd[1][r][c] * ut[1][c];
+                dn0 += fnd[0][r][c] * un[c];
+                dn1 += fnd[1][r][c] * un[c];
+            }
+            force[f.normal_axis * n + nd] += scale * f.normal_sign * f.c1_h * div;
+            force[f.tangent_axes[0] * n + nd] -= scale * f.c1_h * dn0;
+            force[f.tangent_axes[1] * n + nd] -= scale * f.c1_h * dn1;
+        }
+    }
+}
 // lint:hot-path-end
 
 #[cfg(test)]
@@ -186,6 +220,38 @@ mod tests {
         apply_abc_stiffness(&faces, &u, &mut f, 1.0);
         for v in f {
             assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn planar_stiffness_matches_interleaved_bitwise() {
+        let m = HexMesh::from_octree(&LinearOctree::uniform(1), 2.0, |_, _, _, _| ElemMaterial {
+            lambda: 3.0,
+            mu: 1.0,
+            rho: 1.0,
+        });
+        let faces = build_abc_faces(&m, [true, true, true, true, false, true]);
+        let n = m.n_nodes();
+        let mut s = 424242u64;
+        let mut rnd = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let ui: Vec<f64> = (0..3 * n).map(|_| rnd()).collect();
+        let mut up = vec![0.0; 3 * n];
+        for nd in 0..n {
+            for c in 0..3 {
+                up[c * n + nd] = ui[3 * nd + c];
+            }
+        }
+        let mut fi = vec![0.0; 3 * n];
+        let mut fp = vec![0.0; 3 * n];
+        apply_abc_stiffness(&faces, &ui, &mut fi, 0.37);
+        apply_abc_stiffness_planar(&faces, &up, &mut fp, 0.37);
+        for nd in 0..n {
+            for c in 0..3 {
+                assert_eq!(fi[3 * nd + c].to_bits(), fp[c * n + nd].to_bits());
+            }
         }
     }
 

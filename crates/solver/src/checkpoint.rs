@@ -17,6 +17,11 @@ use crate::receivers::Seismogram;
 /// `step` is the index of the *next* step to execute: after completing
 /// 0-based step `k` the state holds `u_prev = u_k`, `u_now = u_{k+1}`,
 /// `k + 1` samples per trace, and `step == k + 1`.
+///
+/// The displacement vectors are stored in the solver's internal *planar*
+/// layout (`dof = comp * n_nodes + node`, see `quake_solver::layout`) —
+/// hence the `v2` kind: a `v1` (interleaved) snapshot must not silently
+/// resume under the new layout.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SolverState {
     /// Next step to execute (0-based).
@@ -30,7 +35,7 @@ pub struct SolverState {
 }
 
 impl Checkpointable for SolverState {
-    const KIND: &'static str = "quake.solver.elastic.v1";
+    const KIND: &'static str = "quake.solver.elastic.v2";
 
     fn encode(&self, enc: &mut Encoder) {
         enc.put_u64(self.step);

@@ -56,6 +56,11 @@ impl<'a> DistConfig<'a> {
 
 /// The fail-stop interface exchange: panics if a peer disappears (the
 /// plain distributed path, where rank failure is not survivable anyway).
+///
+/// `neighbors` lists *planar dof* indices (`comp * n_nodes + node`, matching
+/// the rhs layout the step hands out), expanded identically on both sides of
+/// each link from the exchange plan's node order — so the exchange runs with
+/// `ncomp = 1` and the fabric stays layout-agnostic.
 struct CommExchange<'c> {
     comm: &'c Communicator,
     neighbors: Vec<(usize, Vec<u32>)>,
@@ -63,7 +68,7 @@ struct CommExchange<'c> {
 
 impl Exchange for CommExchange<'_> {
     fn exchange(&mut self, _step: u64, rhs: &mut [f64]) -> Result<(), String> {
-        self.comm.exchange_sum(&self.neighbors, rhs, 3);
+        self.comm.exchange_sum(&self.neighbors, rhs, 1);
         Ok(())
     }
 }
@@ -71,7 +76,7 @@ impl Exchange for CommExchange<'_> {
 /// The step-tagged exchange of the recovery path: the exchange of step `k`
 /// carries tag `STEP_TAG_BASE + k`, so a peer that skipped a step is
 /// detected as protocol skew and surfaces as a run-stopping error instead
-/// of silently summing stale data.
+/// of silently summing stale data. Planar dof lists, like [`CommExchange`].
 struct TaggedExchange<'c> {
     comm: &'c Communicator,
     neighbors: Vec<(usize, Vec<u32>)>,
@@ -80,7 +85,7 @@ struct TaggedExchange<'c> {
 impl Exchange for TaggedExchange<'_> {
     fn exchange(&mut self, step: u64, rhs: &mut [f64]) -> Result<(), String> {
         self.comm
-            .try_exchange_sum(&self.neighbors, rhs, 3, STEP_TAG_BASE + step)
+            .try_exchange_sum(&self.neighbors, rhs, 1, STEP_TAG_BASE + step)
             .map_err(|e| e.to_string())
     }
 }
@@ -123,7 +128,8 @@ pub fn run_distributed(solver: &ElasticSolver<'_>, cfg: &DistConfig<'_>) -> Dist
         let mut ws =
             if cfg.telemetry { solver.workspace_instrumented(rank) } else { solver.workspace() };
         let mut state = solver.initial_state(0, cfg.initial);
-        let mut exchange = CommExchange { comm, neighbors: setup.neighbors(rank) };
+        let mut exchange =
+            CommExchange { comm, neighbors: setup.neighbors(rank, solver.mesh.n_nodes()) };
         let run_cfg = RunConfig::to_step(cfg.n_steps as u64).with_scope(scope);
         let harness = SolverHarness::new(solver);
         if cfg.telemetry {
@@ -149,7 +155,13 @@ pub fn run_distributed(solver: &ElasticSolver<'_>, cfg: &DistConfig<'_>) -> Dist
         } else {
             (Snapshot::default(), Vec::new())
         };
-        (state.u_prev, state.u_now, snapshot, reduced)
+        // Public boundary: hand the states back interleaved.
+        (
+            crate::layout::to_interleaved3(&state.u_prev),
+            crate::layout::to_interleaved3(&state.u_now),
+            snapshot,
+            reduced,
+        )
     });
 
     let mut states = Vec::with_capacity(cfg.n_ranks);
@@ -213,8 +225,25 @@ impl DistSetup {
         DistSetup { per_rank, scopes, plan, volumes }
     }
 
-    fn neighbors(&self, rank: usize) -> Vec<(usize, Vec<u32>)> {
-        self.plan.plans[rank].iter().map(|(q, nodes)| (*q as usize, nodes.clone())).collect()
+    /// This rank's neighbor links as *planar dof* lists: the plan's shared
+    /// nodes expanded component-major (`comp * n_nodes + node`). Both ends
+    /// of a link expand the same node order, so the packed send/receive
+    /// streams line up and per-dof accumulation order is unchanged from the
+    /// interleaved scheme (one contribution per neighbor per dof, neighbors
+    /// visited in plan order) — the bit-identity guarantee is preserved.
+    fn neighbors(&self, rank: usize, n_nodes: usize) -> Vec<(usize, Vec<u32>)> {
+        self.plan.plans[rank]
+            .iter()
+            .map(|(q, nodes)| {
+                let mut dofs = Vec::with_capacity(3 * nodes.len());
+                for comp in 0..3u32 {
+                    for &nd in nodes {
+                        dofs.push(comp * n_nodes as u32 + nd);
+                    }
+                }
+                (*q as usize, dofs)
+            })
+            .collect()
     }
 }
 
@@ -410,7 +439,10 @@ pub fn run_distributed_recoverable(
             let states = runs
                 .into_iter()
                 .filter_map(|r| match r {
-                    RankRun::Finished(s) => Some((s.u_prev, s.u_now)),
+                    RankRun::Finished(s) => Some((
+                        crate::layout::to_interleaved3(&s.u_prev),
+                        crate::layout::to_interleaved3(&s.u_now),
+                    )),
                     _ => None,
                 })
                 .collect();
@@ -459,7 +491,8 @@ fn run_rank_recoverable(
 ) -> RankRun {
     let rank = comm.rank();
     let mut ws = solver.workspace();
-    let mut exchange = TaggedExchange { comm, neighbors: setup.neighbors(rank) };
+    let mut exchange =
+        TaggedExchange { comm, neighbors: setup.neighbors(rank, solver.mesh.n_nodes()) };
     let mut fault_hook = FaultHook::new(faults.rank_view(rank));
     let mut sink = PeriodicSink::new(writer, policy);
     let mut ckpt_hook = CheckpointHook::new(&mut sink);

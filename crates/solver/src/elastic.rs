@@ -14,9 +14,22 @@
 //! nodes are eliminated by the projection `B^T A B ubar = B^T rhs`, which
 //! keeps the update explicit because `A` is diagonal.
 //!
-//! The solver stores *no matrices*: per element only `(h, lambda, mu, rho,
-//! a, b)` — the element matvec runs against the two canonical 24x24 matrices
-//! of `quake-fem`.
+//! The solver stores *no per-element matrices*: per element only `(h,
+//! lambda, mu, rho, a, b)` plus one combined 24x24 stiffness *template* per
+//! distinct `(h, lambda, mu)` class — on an octree mesh that is a handful of
+//! templates for millions of elements (see [`crate::sweep`]).
+//!
+//! # Nodal state layout: planar (structure of arrays)
+//!
+//! All solver-internal nodal vectors (`u_prev`, `u_now`, `rhs`, `w`,
+//! `f_ext`) are **planar**: component planes of length `n_nodes`, i.e.
+//! `dof(comp, node) = comp * n_nodes + node`. The element gather/scatter,
+//! the diagonal fill/tail passes, ABC, and the hanging-node fold/interp all
+//! stream the x/y/z planes contiguously instead of striding through
+//! interleaved `[f64; 3]` triples. Public *boundaries* stay interleaved
+//! (`dof = 3 * node + comp`): [`ElasticSolver::initial_state`] accepts
+//! interleaved fields, the harness's `run_to_state` returns them, and
+//! [`crate::layout`] converts between the two.
 //!
 //! # Hot-path organization
 //!
@@ -24,28 +37,29 @@
 //! performs **zero heap allocations**:
 //!
 //! - [`StepScope`]: the element schedule (a node-disjoint coloring from
-//!   `quake-mesh`, iterated color-major), the scope's absorbing-boundary
+//!   `quake-mesh` plus the blocked per-class template schedule of
+//!   [`crate::sweep::SweepSchedule`]), the scope's absorbing-boundary
 //!   faces, and the owned-node mask — all computed once per rank, not per
 //!   step.
 //! - [`StepWorkspace`]: the per-run scratch (the damping increment
 //!   `w = u_k - u_{k-1}`), allocated once and reused every step.
 //! - The fused kernels: damped elements apply `K_e` to the pre-combined
-//!   vector `dt^2 u_k + (dt beta_e / 2) w` in a single matvec (one sweep
-//!   over the canonical matrices — half the flops of the two-pass form;
-//!   `quake_fem::hex8::elastic_matvec2` provides the same single-sweep
-//!   fusion when both outputs are needed separately), the initial rhs fill
-//!   folds the diagonal-damping term into the source term, and the
-//!   post-exchange tail fuses the history axpy with the `lhs_inv` scale.
+//!   vector `dt^2 u_k + (dt beta_e / 2) w` in a single template matvec
+//!   (ONE 24x24 matrix instead of the two canonical ones — half the flops),
+//!   the initial rhs fill folds the diagonal-damping term into the source
+//!   term, and the post-exchange tail fuses the history axpy with the
+//!   `lhs_inv` scale.
 //!
 //! With the `parallel` feature the element sweep runs threaded over the
 //! coloring: within one color no two elements share a node, so scatters are
 //! race-free and the result is bit-identical to the serial color-major sweep
 //! for any thread count.
 
-use crate::abc::{accumulate_abc_damping, apply_abc_stiffness, build_abc_faces, AbcFace};
+use crate::abc::{accumulate_abc_damping, apply_abc_stiffness_planar, build_abc_faces, AbcFace};
 use crate::checkpoint::SolverState;
 use crate::receivers::Seismogram;
 use crate::sources::AssembledSource;
+use crate::sweep::SweepSchedule;
 use quake_fem::hex8::{elastic_hex_matrices, elastic_matvec, lumped_hex_mass};
 use quake_machine::phases::{elastic_step_phases, ElasticStepShape};
 use quake_mesh::coloring::{color_elements, ElementColoring};
@@ -107,6 +121,9 @@ pub struct RunResult {
 pub struct StepScope {
     /// Node-disjoint coloring of the scope's elements.
     pub coloring: ElementColoring,
+    /// Blocked per-class template schedule derived from the coloring (see
+    /// [`crate::sweep`]).
+    pub schedule: SweepSchedule,
     /// Absorbing faces owned by the scope's elements.
     pub faces: Vec<AbcFace>,
     /// Owned-node mask (`None` = the scope owns every node).
@@ -194,7 +211,9 @@ pub struct ElasticSolver<'m> {
     pub n_steps: usize,
     /// Lumped nodal mass per node (unprojected; diagnostics only).
     mass: Vec<f64>,
-    /// Projected (squared-weight folded) mass per dof.
+    /// Projected (squared-weight folded) mass per dof. Interleaved — the
+    /// frozen `reference` oracle reads these four diagonals; the planar
+    /// `*_p` twins below are what the production step streams.
     pub(crate) mass_f: Vec<f64>,
     /// Projected diagonal damping per dof: `a M + b K_diag + C^AB_diag`.
     pub(crate) cdiag_f: Vec<f64>,
@@ -203,6 +222,11 @@ pub struct ElasticSolver<'m> {
     pub(crate) damp_diag: Vec<f64>,
     /// Folded inverse LHS diagonal.
     pub(crate) lhs_inv: Vec<f64>,
+    /// Planar (`dof = comp * n + node`) copies of the step diagonals.
+    mass_fp: Vec<f64>,
+    cdiag_fp: Vec<f64>,
+    damp_diag_p: Vec<f64>,
+    lhs_inv_p: Vec<f64>,
     pub(crate) faces: Vec<AbcFace>,
     /// Per-element Rayleigh constants.
     alpha: Vec<f64>,
@@ -291,14 +315,24 @@ impl<'m> ElasticSolver<'m> {
         }
 
         let all: Vec<u32> = (0..ne as u32).collect();
-        let full_scope =
-            StepScope { coloring: color_elements(mesh, &all), faces: faces.clone(), owned: None };
+        let coloring = color_elements(mesh, &all);
+        let full_scope = StepScope {
+            schedule: SweepSchedule::build(mesh, &coloring, &beta, dt),
+            coloring,
+            faces: faces.clone(),
+            owned: None,
+        };
 
+        let planar = |inter: &[f64]| crate::layout::to_planar3(inter);
         ElasticSolver {
             mesh,
             dt,
             n_steps,
             mass,
+            mass_fp: planar(&mass_f),
+            cdiag_fp: planar(&cdiag_f),
+            damp_diag_p: planar(&damp_diag),
+            lhs_inv_p: planar(&lhs_inv),
             mass_f,
             cdiag_f,
             damp_diag,
@@ -382,8 +416,10 @@ impl<'m> ElasticSolver<'m> {
         for &e in elems {
             mine[e as usize] = true;
         }
+        let coloring = color_elements(self.mesh, elems);
         StepScope {
-            coloring: color_elements(self.mesh, elems),
+            schedule: SweepSchedule::build(self.mesh, &coloring, &self.beta, self.dt),
+            coloring,
             faces: self.faces.iter().filter(|f| mine[f.element as usize]).copied().collect(),
             owned,
         }
@@ -391,7 +427,8 @@ impl<'m> ElasticSolver<'m> {
 
     /// One explicit step: given `u_prev = u_{k-1}`, `u_now = u_k` (both with
     /// hanging nodes interpolated) and the external force `f_ext` (physical
-    /// units, at time level k), fill `u_next`.
+    /// units, at time level k), fill `u_next`. All four vectors are
+    /// **planar** (`dof = comp * n_nodes + node`; see [`crate::layout`]).
     ///
     /// Convenience wrapper that allocates a fresh workspace; hot loops should
     /// hold one [`ElasticSolver::workspace`] and call
@@ -402,7 +439,7 @@ impl<'m> ElasticSolver<'m> {
     }
 
     /// One explicit step over the full domain, reusing `ws` — the
-    /// allocation-free hot path.
+    /// allocation-free hot path. Planar vectors throughout.
     pub fn step_with(
         &self,
         u_prev: &[f64],
@@ -411,7 +448,22 @@ impl<'m> ElasticSolver<'m> {
         u_next: &mut [f64],
         ws: &mut StepWorkspace,
     ) {
-        self.step_scoped(&self.full_scope, u_prev, u_now, f_ext, u_next, ws, |_| {});
+        self.step_scoped_impl(&self.full_scope, u_prev, u_now, f_ext, u_next, ws, |_| {}, false);
+    }
+
+    /// [`ElasticSolver::step_with`] with the threaded sweep disabled even
+    /// when the `parallel` feature is on — the bench's serial row, so the
+    /// layout-vs-threading speedup decomposition stays measurable from one
+    /// build. Bit-identical to `step_with` by construction.
+    pub fn step_with_serial(
+        &self,
+        u_prev: &[f64],
+        u_now: &[f64],
+        f_ext: &[f64],
+        u_next: &mut [f64],
+        ws: &mut StepWorkspace,
+    ) {
+        self.step_scoped_impl(&self.full_scope, u_prev, u_now, f_ext, u_next, ws, |_| {}, true);
     }
 
     // lint:hot-path — the explicit step and its element kernels. The
@@ -429,6 +481,9 @@ impl<'m> ElasticSolver<'m> {
     /// (the fold is linear, so per-rank folded partials sum to the global
     /// fold); everything after the exchange is local and replicated.
     ///
+    /// All nodal vectors — including the rhs handed to `exchange` — are
+    /// planar (`dof = comp * n_nodes + node`).
+    ///
     /// Steady-state heap allocations: **zero** (scratch lives in `ws`, the
     /// face list and schedule in `scope`).
     pub fn step_scoped(
@@ -440,6 +495,21 @@ impl<'m> ElasticSolver<'m> {
         u_next: &mut [f64],
         ws: &mut StepWorkspace,
         exchange: impl FnOnce(&mut [f64]),
+    ) {
+        self.step_scoped_impl(scope, u_prev, u_now, f_ext, u_next, ws, exchange, false);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_scoped_impl(
+        &self,
+        scope: &StepScope,
+        u_prev: &[f64],
+        u_now: &[f64],
+        f_ext: &[f64],
+        u_next: &mut [f64],
+        ws: &mut StepWorkspace,
+        exchange: impl FnOnce(&mut [f64]),
+        force_serial: bool,
     ) {
         let mesh = self.mesh;
         let n = mesh.n_nodes();
@@ -459,7 +529,8 @@ impl<'m> ElasticSolver<'m> {
 
         // Fused initial fill: one pass computes the damping increment
         // `w = u_k - u_{k-1}`, the source term, and the owner's diagonal
-        // damping contribution -(dt/2) (alpha M + C^AB) w.
+        // damping contribution -(dt/2) (alpha M + C^AB) w. Planar layout:
+        // the unmasked pass is one contiguous stream over all three planes.
         let rhs = &mut *u_next; // reuse the output buffer
         reg.enter(ids.fill);
         match &scope.owned {
@@ -467,33 +538,32 @@ impl<'m> ElasticSolver<'m> {
                 for d in 0..ndof {
                     let wd = u_now[d] - u_prev[d];
                     w[d] = wd;
-                    rhs[d] = dt2 * f_ext[d] - 0.5 * dt * self.damp_diag[d] * wd;
+                    rhs[d] = dt2 * f_ext[d] - 0.5 * dt * self.damp_diag_p[d] * wd;
                 }
             }
             Some(mask) => {
-                for nd in 0..n {
-                    let own = mask[nd];
-                    for comp in 0..3 {
-                        let d = 3 * nd + comp;
+                for comp in 0..3 {
+                    for (nd, &own) in mask.iter().enumerate() {
+                        let d = comp * n + nd;
                         let wd = u_now[d] - u_prev[d];
                         w[d] = wd;
                         rhs[d] = dt2 * f_ext[d]
-                            - if own { 0.5 * dt * self.damp_diag[d] * wd } else { 0.0 };
+                            - if own { 0.5 * dt * self.damp_diag_p[d] * wd } else { 0.0 };
                     }
                 }
             }
         }
         reg.exit(ids.fill);
 
-        // Element stiffness/damping sweep, color-major.
+        // Element stiffness/damping sweep, color-major, blocked per class.
         reg.enter(ids.elements);
-        self.sweep(scope, u_now, w, rhs, reg, &mut ids.colors);
+        self.sweep(scope, u_now, w, rhs, reg, &mut ids.colors, force_serial);
         reg.exit(ids.elements);
 
         // Stacey tangential coupling (K^AB) of this scope's faces, applied
         // as a traction force directly into the rhs (pre-scaled by dt^2).
         reg.enter(ids.abc);
-        apply_abc_stiffness(&scope.faces, u_now, rhs, dt2);
+        apply_abc_stiffness_planar(&scope.faces, u_now, rhs, dt2);
         reg.exit(ids.abc);
 
         // Project this rank's partial terms BEFORE the exchange. The fold is
@@ -501,10 +571,11 @@ impl<'m> ElasticSolver<'m> {
         // the assembled sum — and no rank ever needs hanging-node values it
         // did not itself assemble.
         reg.enter(ids.fold);
-        mesh.fold_hanging(rhs, 3);
+        mesh.fold_hanging_planar(rhs, 3);
         reg.exit(ids.fold);
 
-        // Sum-exchange the partially assembled terms at interface nodes.
+        // Sum-exchange the partially assembled terms at interface nodes
+        // (planar dof indices).
         reg.enter(ids.exchange);
         exchange(rhs);
         reg.exit(ids.exchange);
@@ -515,24 +586,27 @@ impl<'m> ElasticSolver<'m> {
         //   rhs_m = lhs_inv * (rhs_m + 2 Mf u0 - Mf u- + (dt/2) Cf u0)
         reg.enter(ids.tail);
         for d in 0..ndof {
-            rhs[d] = (rhs[d] + (2.0 * self.mass_f[d] + 0.5 * dt * self.cdiag_f[d]) * u_now[d]
-                - self.mass_f[d] * u_prev[d])
-                * self.lhs_inv[d];
+            rhs[d] = (rhs[d] + (2.0 * self.mass_fp[d] + 0.5 * dt * self.cdiag_fp[d]) * u_now[d]
+                - self.mass_fp[d] * u_prev[d])
+                * self.lhs_inv_p[d];
         }
         reg.exit(ids.tail);
         reg.enter(ids.interp);
-        mesh.interpolate_hanging(rhs, 3);
+        mesh.interpolate_hanging_planar(rhs, 3);
         reg.exit(ids.interp);
         reg.exit(ids.step);
     }
 
     /// Element sweep dispatch: threaded over the coloring with the
-    /// `parallel` feature, serial color-major otherwise (identical results —
-    /// each node is written by at most one element per color).
+    /// `parallel` feature (unless `force_serial`), serial color-major
+    /// otherwise (identical results — each node is written by at most one
+    /// element per color). The actual kernel is the blocked per-class
+    /// template sweep of [`crate::sweep::SweepSchedule`].
     ///
     /// `reg`/`colors` carry the per-color telemetry spans
     /// (`step/elements/color<i>`), interned lazily on first visit; a
     /// disabled registry skips all of it at the cost of one branch per color.
+    #[allow(clippy::too_many_arguments)]
     fn sweep(
         &self,
         scope: &StepScope,
@@ -541,15 +615,24 @@ impl<'m> ElasticSolver<'m> {
         rhs: &mut [f64],
         reg: &Registry,
         colors: &mut Vec<SpanId>,
+        force_serial: bool,
     ) {
         #[cfg(feature = "parallel")]
-        {
-            self.sweep_parallel(scope, u_now, w, rhs, reg, colors);
+        if !force_serial {
+            let n_elems = scope.coloring.order.len();
+            let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+            // Don't spawn for tiny sweeps: a thread needs a few hundred
+            // element updates to amortize its creation. The threaded sweep
+            // attributes its whole time to `step/elements` (the per-rank
+            // registry is single-threaded by design).
+            let threads = hw.min(n_elems / 256).max(1);
+            if threads > 1 {
+                scope.schedule.sweep_parallel(threads, u_now, w, rhs);
+                return;
+            }
         }
-        #[cfg(not(feature = "parallel"))]
-        {
-            self.sweep_serial(scope, u_now, w, rhs, reg, colors);
-        }
+        let _ = force_serial;
+        self.sweep_serial(scope, u_now, w, rhs, reg, colors);
     }
 
     /// Serial color-major element sweep — the canonical order.
@@ -562,168 +645,16 @@ impl<'m> ElasticSolver<'m> {
         reg: &Registry,
         colors: &mut Vec<SpanId>,
     ) {
-        for (ci, color) in scope.coloring.colors().enumerate() {
+        for ci in 0..scope.schedule.n_colors() {
             if reg.is_enabled() {
                 while colors.len() <= ci {
                     colors.push(reg.span_id(&format!("step/elements/color{}", colors.len())));
                 }
                 reg.enter(colors[ci]);
             }
-            for &ei in color {
-                self.element_update(ei, u_now, w, rhs);
-            }
+            scope.schedule.sweep_color(ci, u_now, w, rhs);
             if reg.is_enabled() {
                 reg.exit(colors[ci]);
-            }
-        }
-    }
-
-    /// One element's gather - fused matvec - scatter.
-    ///
-    /// The step needs `dt^2 K_e u + (dt beta_e / 2) K_e w`, and both terms
-    /// share the element stiffness, so the two matvecs collapse into ONE on
-    /// the pre-combined vector `dt^2 u + (dt beta_e / 2) w` — half the flops
-    /// and half the canonical-matrix sweeps of the two-pass form. (When the
-    /// two outputs are needed separately — e.g. adjoint kernels — use
-    /// `quake_fem::hex8::elastic_matvec2`, which still shares the single
-    /// matrix sweep.)
-    #[inline]
-    fn element_update(&self, ei: u32, u_now: &[f64], w: &[f64], rhs: &mut [f64]) {
-        let i = ei as usize;
-        let e = &self.mesh.elements[i];
-        let mats = elastic_hex_matrices();
-        let dt2 = self.dt * self.dt;
-        let bscale = 0.5 * self.dt * self.beta[i];
-        let mut xc = [0.0; 24];
-        let mut y = [0.0; 24];
-        if bscale != 0.0 {
-            for (c, &nd) in e.nodes.iter().enumerate() {
-                let b = nd as usize * 3;
-                for comp in 0..3 {
-                    xc[3 * c + comp] = dt2 * u_now[b + comp] + bscale * w[b + comp];
-                }
-            }
-        } else {
-            for (c, &nd) in e.nodes.iter().enumerate() {
-                let b = nd as usize * 3;
-                for comp in 0..3 {
-                    xc[3 * c + comp] = dt2 * u_now[b + comp];
-                }
-            }
-        }
-        elastic_matvec(mats, e.material.lambda, e.material.mu, e.h, &xc, &mut y);
-        for (c, &nd) in e.nodes.iter().enumerate() {
-            let b = nd as usize * 3;
-            for comp in 0..3 {
-                rhs[b + comp] -= y[3 * c + comp];
-            }
-        }
-    }
-
-    /// Threaded element sweep over the node-disjoint coloring. Within one
-    /// color no two elements share a node, so concurrent scatters touch
-    /// disjoint rhs entries; a barrier between colors preserves the
-    /// color-major order. Each node is written by at most one element per
-    /// color, so the result is bit-identical to [`Self::sweep_serial`] for
-    /// any thread count.
-    ///
-    /// Per-color telemetry spans are recorded only on the serial fallback —
-    /// the threaded sweep attributes its whole time to `step/elements` (the
-    /// per-rank registry is single-threaded by design).
-    #[cfg(feature = "parallel")]
-    fn sweep_parallel(
-        &self,
-        scope: &StepScope,
-        u_now: &[f64],
-        w: &[f64],
-        rhs: &mut [f64],
-        reg: &Registry,
-        colors: &mut Vec<SpanId>,
-    ) {
-        let n_elems = scope.coloring.order.len();
-        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-        // Don't spawn for tiny sweeps: a thread needs a few hundred element
-        // updates to amortize its creation.
-        let threads = hw.min(n_elems / 256).max(1);
-        if threads == 1 {
-            self.sweep_serial(scope, u_now, w, rhs, reg, colors);
-            return;
-        }
-
-        // SAFETY: sharing a raw `*mut f64` to rhs across threads is sound
-        // because the coloring is node-disjoint — elements within a color
-        // have pairwise disjoint node sets, so no two threads ever write
-        // the same entry between barriers (UNSAFE_LEDGER.md).
-        struct RhsPtr(*mut f64);
-        unsafe impl Sync for RhsPtr {}
-        let ptr = RhsPtr(rhs.as_mut_ptr());
-        let barrier = std::sync::Barrier::new(threads);
-
-        std::thread::scope(|s| {
-            for tid in 0..threads {
-                let ptr = &ptr;
-                let barrier = &barrier;
-                s.spawn(move || {
-                    for color in scope.coloring.colors() {
-                        // Contiguous chunk of this color for thread `tid`.
-                        let len = color.len();
-                        let per = len.div_ceil(threads);
-                        let lo = (tid * per).min(len);
-                        let hi = ((tid + 1) * per).min(len);
-                        for &ei in &color[lo..hi] {
-                            // SAFETY: within this color, element node sets
-                            // are pairwise disjoint and chunks are disjoint,
-                            // so these raw writes never alias across
-                            // threads; the barrier orders colors.
-                            unsafe { self.element_update_raw(ei, u_now, w, ptr.0) };
-                        }
-                        barrier.wait();
-                    }
-                });
-            }
-        });
-    }
-
-    /// [`Self::element_update`] writing through a raw pointer (for the
-    /// threaded sweep, where disjointness — not the borrow checker —
-    /// guarantees race freedom).
-    ///
-    /// # Safety
-    /// `rhs` must point to a live `3 * n_nodes` buffer and no other thread
-    /// may concurrently access this element's node entries. The threaded
-    /// sweep discharges this via the node-disjoint coloring: within a color
-    /// no two elements share a node, and the inter-color barrier orders
-    /// everything else (see UNSAFE_LEDGER.md).
-    #[cfg(feature = "parallel")]
-    unsafe fn element_update_raw(&self, ei: u32, u_now: &[f64], w: &[f64], rhs: *mut f64) {
-        let i = ei as usize;
-        let e = &self.mesh.elements[i];
-        let mats = elastic_hex_matrices();
-        let dt2 = self.dt * self.dt;
-        let bscale = 0.5 * self.dt * self.beta[i];
-        let mut xc = [0.0; 24];
-        let mut y = [0.0; 24];
-        if bscale != 0.0 {
-            for (c, &nd) in e.nodes.iter().enumerate() {
-                let b = nd as usize * 3;
-                for comp in 0..3 {
-                    xc[3 * c + comp] = dt2 * u_now[b + comp] + bscale * w[b + comp];
-                }
-            }
-        } else {
-            for (c, &nd) in e.nodes.iter().enumerate() {
-                let b = nd as usize * 3;
-                for comp in 0..3 {
-                    xc[3 * c + comp] = dt2 * u_now[b + comp];
-                }
-            }
-        }
-        elastic_matvec(mats, e.material.lambda, e.material.mu, e.h, &xc, &mut y);
-        for (c, &nd) in e.nodes.iter().enumerate() {
-            let b = nd as usize * 3;
-            for comp in 0..3 {
-                let p = rhs.add(b + comp);
-                *p -= y[3 * c + comp];
             }
         }
     }
@@ -750,21 +681,30 @@ impl<'m> ElasticSolver<'m> {
     }
 
     /// Fresh [`SolverState`] at step 0 with empty traces. `u0`/`v0`
-    /// optionally seed an initial displacement/velocity field.
+    /// optionally seed an initial displacement/velocity field — both given
+    /// in the public *interleaved* layout (`dof = 3 * node + comp`); the
+    /// state they seed is planar (see [`crate::layout`]).
     pub fn initial_state(
         &self,
         n_receivers: usize,
         initial: Option<(&[f64], &[f64])>,
     ) -> SolverState {
-        let ndof = 3 * self.mesh.n_nodes();
+        let n = self.mesh.n_nodes();
+        let ndof = 3 * n;
         let mut u_prev = vec![0.0; ndof];
         let mut u_now = vec![0.0; ndof];
         if let Some((u0, v0)) = initial {
             // u_now = u(0); u_prev = u(-dt) ~ u0 - dt v0 (first order is
             // enough: the error is O(dt^2), matching the scheme).
-            u_now.copy_from_slice(u0);
-            for d in 0..ndof {
-                u_prev[d] = u0[d] - self.dt * v0[d];
+            assert_eq!(u0.len(), ndof);
+            assert_eq!(v0.len(), ndof);
+            for nd in 0..n {
+                for comp in 0..3 {
+                    let d = comp * n + nd;
+                    let i = 3 * nd + comp;
+                    u_now[d] = u0[i];
+                    u_prev[d] = u0[i] - self.dt * v0[i];
+                }
             }
         }
         SolverState {
@@ -1036,22 +976,24 @@ mod tests {
 
     #[test]
     fn fused_step_matches_reference_on_damped_hanging_mesh() {
-        // The overhauled step (fused matvec2, workspace, color-major order,
-        // in-place ABC) against the frozen pre-optimization reference step:
-        // <= 1e-12 relative on every dof after several steps.
+        // The overhauled step (planar SoA state, per-class template sweep,
+        // blocked batches, in-place ABC) against the frozen pre-optimization
+        // interleaved reference step: <= 1e-12 relative on every dof after
+        // several steps.
         let (mesh, cfg) = damped_hanging_setup();
         assert!(mesh.n_hanging() > 0);
         let solver = ElasticSolver::new(&mesh, &cfg);
         let (u0, v0) = shear_pulse(&mesh, 4.0, 1.5, 1.0);
         let ndof = 3 * mesh.n_nodes();
 
-        let mut up_a = vec![0.0; ndof];
-        let mut un_a = u0.clone();
+        // Path A (production): planar state.
+        let mut up_b = vec![0.0; ndof];
+        let mut un_b = u0.clone();
         for d in 0..ndof {
-            up_a[d] = u0[d] - solver.dt * v0[d];
+            up_b[d] = u0[d] - solver.dt * v0[d];
         }
-        let mut up_b = up_a.clone();
-        let mut un_b = un_a.clone();
+        let mut up_a = crate::layout::to_planar3(&up_b);
+        let mut un_a = crate::layout::to_planar3(&un_b);
         let mut next_a = vec![0.0; ndof];
         let mut next_b = vec![0.0; ndof];
         let f = vec![0.0; ndof];
@@ -1064,6 +1006,7 @@ mod tests {
             std::mem::swap(&mut up_b, &mut un_b);
             std::mem::swap(&mut un_b, &mut next_b);
         }
+        let un_a = crate::layout::to_interleaved3(&un_a);
         let scale = un_b.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(scale > 0.0);
         let mut worst = 0.0f64;
@@ -1071,6 +1014,26 @@ mod tests {
             worst = worst.max((un_a[d] - un_b[d]).abs() / scale);
         }
         assert!(worst <= 1e-12, "fused vs reference relative error {worst}");
+    }
+
+    #[test]
+    fn serial_step_entry_is_bit_identical_to_step_with() {
+        // `step_with_serial` (the bench's serial row) must be the same
+        // arithmetic as `step_with` — with the `parallel` feature this
+        // pins the threaded sweep's bit-identity end to end.
+        let (mesh, cfg) = damped_hanging_setup();
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let ndof = 3 * mesh.n_nodes();
+        let (u0, v0) = shear_pulse(&mesh, 4.0, 1.5, 1.0);
+        let state = solver.initial_state(0, Some((&u0, &v0)));
+        let f = vec![0.0; ndof];
+        let mut ws = solver.workspace();
+        let mut next_a = vec![0.0; ndof];
+        let mut next_b = vec![0.0; ndof];
+        solver.step_with(&state.u_prev, &state.u_now, &f, &mut next_a, &mut ws);
+        solver.step_with_serial(&state.u_prev, &state.u_now, &f, &mut next_b, &mut ws);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&next_a), bits(&next_b));
     }
 
     #[test]
@@ -1271,7 +1234,10 @@ mod tests {
         let reg = Registry::disabled();
         let mut colors = Vec::new();
         solver.sweep_serial(scope, &u_now, &w, &mut rhs_serial, &reg, &mut colors);
-        solver.sweep_parallel(scope, &u_now, &w, &mut rhs_parallel, &reg, &mut colors);
-        assert_eq!(rhs_serial, rhs_parallel);
+        for threads in [2, 3, 5] {
+            rhs_parallel.fill(0.0);
+            scope.schedule.sweep_parallel(threads, &u_now, &w, &mut rhs_parallel);
+            assert_eq!(rhs_serial, rhs_parallel, "threads = {threads}");
+        }
     }
 }

@@ -40,7 +40,7 @@
 
 use crate::checkpoint::SolverState;
 use crate::elastic::{ElasticSolver, RunResult, StepScope, StepWorkspace};
-use crate::receivers::record_sample;
+use crate::receivers::record_sample_planar;
 use crate::sources::AssembledSource;
 use quake_ckpt::{CkptError, StepSink};
 use quake_machine::phases::ElasticStepShape;
@@ -245,7 +245,7 @@ impl<'s, 'm> SolverHarness<'s, 'm> {
                 f.iter_mut().for_each(|v| *v = 0.0);
                 ws.reg.enter(ws.ids.source);
                 for s in cfg.sources {
-                    s.add_force(t, &mut f);
+                    s.add_force_planar(t, &mut f);
                 }
                 ws.reg.exit(ws.ids.source);
             }
@@ -295,7 +295,9 @@ impl<'s, 'm> SolverHarness<'s, 'm> {
 
     /// Run source-free from an optional initial `(u0, v0)` for `n_steps` and
     /// return the final `(u_prev, u_now)` pair (for field tests). The bound
-    /// is *not* clamped to the solver's configured duration.
+    /// is *not* clamped to the solver's configured duration. Both the inputs
+    /// and the returned pair use the public interleaved layout; the planar
+    /// internal state never leaks out of this call.
     pub fn run_to_state(
         &self,
         initial: Option<(&[f64], &[f64])>,
@@ -305,7 +307,10 @@ impl<'s, 'm> SolverHarness<'s, 'm> {
         let mut ws = self.solver.workspace();
         let cfg = RunConfig::to_step(n_steps as u64);
         self.run(&cfg, &mut state, &mut ws, &mut NoExchange, &mut []);
-        (state.u_prev, state.u_now)
+        (
+            crate::layout::to_interleaved3(&state.u_prev),
+            crate::layout::to_interleaved3(&state.u_now),
+        )
     }
 
     /// Drive a full simulation to the solver's configured end: sources on,
@@ -431,7 +436,7 @@ impl StepHook for ReceiverHook<'_> {
     }
 
     fn after_step(&mut self, ctx: &mut HookCtx<'_>) -> Result<(), StopReason> {
-        record_sample(&mut ctx.state.seismograms, self.nodes, &ctx.state.u_prev);
+        record_sample_planar(&mut ctx.state.seismograms, self.nodes, &ctx.state.u_prev);
         Ok(())
     }
 }

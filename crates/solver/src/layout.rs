@@ -1,0 +1,67 @@
+//! Nodal vector layouts and conversions.
+//!
+//! The solver's *internal* state is planar (structure of arrays): three
+//! component planes of length `n_nodes`, `dof(comp, node) = comp * n_nodes +
+//! node`, so the element gather/scatter and every diagonal pass stream
+//! contiguously. The *public* boundary layout (initial fields, returned
+//! states, assembled source weights, seismogram samples, mesh utilities
+//! shared with the tet solver) stays interleaved, `dof(node, comp) = 3 *
+//! node + comp`. These helpers convert between the two; both are exact
+//! permutations, so round-tripping is bit-identical.
+
+/// Interleaved (`3 * node + comp`) to planar (`comp * n + node`), 3
+/// components.
+pub fn to_planar3(interleaved: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; interleaved.len()];
+    planar3_into(interleaved, &mut out);
+    out
+}
+
+/// Planar (`comp * n + node`) to interleaved (`3 * node + comp`), 3
+/// components.
+pub fn to_interleaved3(planar: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; planar.len()];
+    interleaved3_into(planar, &mut out);
+    out
+}
+
+/// In-place-buffer variant of [`to_planar3`].
+pub fn planar3_into(interleaved: &[f64], out: &mut [f64]) {
+    let n = interleaved.len() / 3;
+    assert_eq!(interleaved.len(), 3 * n);
+    assert_eq!(out.len(), 3 * n);
+    for nd in 0..n {
+        for comp in 0..3 {
+            out[comp * n + nd] = interleaved[3 * nd + comp];
+        }
+    }
+}
+
+/// In-place-buffer variant of [`to_interleaved3`].
+pub fn interleaved3_into(planar: &[f64], out: &mut [f64]) {
+    let n = planar.len() / 3;
+    assert_eq!(planar.len(), 3 * n);
+    assert_eq!(out.len(), 3 * n);
+    for nd in 0..n {
+        for comp in 0..3 {
+            out[3 * nd + comp] = planar[comp * n + nd];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let v: Vec<f64> = (0..3 * 17).map(|i| (i as f64).sin()).collect();
+        let p = to_planar3(&v);
+        assert_eq!(to_interleaved3(&p), v);
+        // Spot-check the permutation itself.
+        let n = 17;
+        assert_eq!(p[0], v[0]); // (comp 0, node 0)
+        assert_eq!(p[n], v[1]); // (comp 1, node 0)
+        assert_eq!(p[2 * n + 5], v[3 * 5 + 2]); // (comp 2, node 5)
+    }
+}

@@ -6,9 +6,14 @@
 //!   hexes on a balanced octree, lumped-mass central differences with the
 //!   diagonal/off-diagonal damping split of eq. (2.4), elementwise
 //!   least-squares Rayleigh damping, Stacey absorbing boundaries and
-//!   hanging-node projection (`B^T A B ubar = B^T b`). No matrix is ever
-//!   stored: the element matvec is `gather -> 24x24 dense -> scatter` against
-//!   two canonical matrices,
+//!   hanging-node projection (`B^T A B ubar = B^T b`). No per-element
+//!   matrix is ever stored: the element matvec is `gather -> 24x24 dense ->
+//!   scatter` against one precomputed stiffness *template* per distinct
+//!   `(h, lambda, mu)` class — a handful of matrices on an octree mesh,
+//! - [`sweep`]: the blocked element kernel behind [`elastic`]: per-class
+//!   templates, cache-sized batches, color-parallel scatters,
+//! - [`layout`]: the planar (structure-of-arrays) nodal layout the solver
+//!   runs on internally, and conversions to the interleaved boundary layout,
 //! - [`abc`]: the Stacey boundary terms shared by the solvers,
 //! - [`sources`]: moment-tensor point sources assembled into nodal forces,
 //!   plane-wave/Gaussian initial conditions,
@@ -42,10 +47,12 @@ pub mod checkpoint;
 pub mod distributed;
 pub mod elastic;
 pub mod harness;
+pub mod layout;
 pub mod receivers;
 pub mod reference;
 pub mod scalar3d;
 pub mod sources;
+pub mod sweep;
 pub mod tet;
 pub mod wave;
 
@@ -59,7 +66,7 @@ pub use harness::{
     CheckpointHook, Exchange, ExchangeFlow, FaultHook, HookCtx, NoExchange, NoopHook, ReceiverHook,
     RunConfig, RunInfo, RunOutcome, SolverHarness, StepHook, StopReason, TelemetryHook,
 };
-pub use receivers::{lowpass_filtfilt, record_sample, Seismogram};
+pub use receivers::{lowpass_filtfilt, record_sample, record_sample_planar, Seismogram};
 pub use scalar3d::{Scalar3dConfig, Scalar3dSolver};
 pub use wave::ScalarWaveEq;
 

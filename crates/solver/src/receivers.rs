@@ -63,6 +63,18 @@ pub fn record_sample(traces: &mut [Seismogram], nodes: &[u32], u: &[f64]) {
     }
 }
 
+/// [`record_sample`] for a *planar* displacement vector (`dof = comp * n +
+/// node`, `n = u.len() / 3` — the elastic solver's internal layout). The
+/// sample values are identical to the interleaved variant's.
+pub fn record_sample_planar(traces: &mut [Seismogram], nodes: &[u32], u: &[f64]) {
+    assert_eq!(traces.len(), nodes.len());
+    let n = u.len() / 3;
+    for (tr, &nd) in traces.iter_mut().zip(nodes) {
+        let nd = nd as usize;
+        tr.push(&[u[nd], u[n + nd], u[2 * n + nd]]);
+    }
+}
+
 /// Zero-phase low-pass filter: a 2nd-order Butterworth biquad applied
 /// forward then backward (filtfilt), as used to band-limit the Fig 2.4
 /// waveform comparisons to 0.5 / 1.0 Hz.

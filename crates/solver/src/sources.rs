@@ -22,7 +22,9 @@ pub struct AssembledSource {
 }
 
 impl AssembledSource {
-    /// Accumulate this source's force at time `t`.
+    /// Accumulate this source's force at time `t` into an *interleaved*
+    /// (`dof = 3 * node + comp`) force vector — the layout the weights are
+    /// stored in.
     pub fn add_force(&self, t: f64, f: &mut [f64]) {
         // `moment` was folded into the weights; `g` carries the normalized
         // ramp (amplitude folded in too, so use the normalized value).
@@ -32,6 +34,22 @@ impl AssembledSource {
         }
         for &(dof, w) in &self.weights {
             f[dof as usize] += w * g;
+        }
+    }
+
+    /// [`AssembledSource::add_force`] into a *planar* force vector
+    /// (`dof = comp * n + node`, `n = f.len() / 3` — the elastic solver's
+    /// internal layout, see `quake_solver::layout`). Same weights, same
+    /// per-dof accumulation order, so the injected values are identical.
+    pub fn add_force_planar(&self, t: f64, f: &mut [f64]) {
+        let g = self.slip.dg_d_amplitude(t);
+        if g == 0.0 {
+            return;
+        }
+        let n = f.len() / 3;
+        for &(dof, w) in &self.weights {
+            let (nd, comp) = (dof as usize / 3, dof as usize % 3);
+            f[comp * n + nd] += w * g;
         }
     }
 }

@@ -8,6 +8,7 @@ use quake_ckpt::{CheckpointPolicy, CheckpointReader, CheckpointWriter, PeriodicS
 use quake_mesh::hexmesh::{ElemMaterial, HexMesh};
 use quake_octree::{BalanceMode, LinearOctree, MAX_LEVEL};
 use quake_solver::harness::{HookCtx, StopReason};
+use quake_solver::layout::{to_interleaved3, to_planar3};
 use quake_solver::reference::reference_step;
 use quake_solver::{
     CheckpointHook, ElasticConfig, ElasticSolver, NoExchange, ReceiverHook, RunConfig, RunOutcome,
@@ -184,8 +185,9 @@ fn panicking_hook_leaves_checkpoints_atomic_and_resumable() {
         &mut [],
     );
     assert!(matches!(outcome, RunOutcome::Finished { executed } if executed == 4));
-    assert_bits_eq(&ref_up, &state.u_prev, "resumed u_prev");
-    assert_bits_eq(&ref_un, &state.u_now, "resumed u_now");
+    // `run_to_state` returns interleaved vectors; the raw state is planar.
+    assert_bits_eq(&ref_up, &to_interleaved3(&state.u_prev), "resumed u_prev");
+    assert_bits_eq(&ref_un, &to_interleaved3(&state.u_now), "resumed u_now");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -208,14 +210,21 @@ fn final_step_velocity_matches_the_frozen_reference() {
     let (hup, hun) = SolverHarness::new(&solver).run_to_state(Some((&u0, &v0)), n_steps);
 
     // Oracle A: the pre-harness step loop written out longhand, on the
-    // production fused step — must be bit-identical.
+    // production fused step — must be bit-identical. The fused step runs on
+    // the planar layout, so the longhand loop does too (the planar/interleaved
+    // conversion is an exact permutation, so bit-level asserts still hold).
+    let u0p = to_planar3(&u0);
+    let v0p = to_planar3(&v0);
     let mut up = vec![0.0; ndof];
-    let mut un = u0.clone();
+    let mut un = u0p.clone();
     for d in 0..ndof {
-        up[d] = u0[d] - solver.dt * v0[d];
+        up[d] = u0p[d] - solver.dt * v0p[d];
     }
-    let mut up_r = up.clone();
-    let mut un_r = un.clone();
+    let mut up_r = vec![0.0; ndof];
+    let mut un_r = u0.clone();
+    for d in 0..ndof {
+        up_r[d] = u0[d] - solver.dt * v0[d];
+    }
     let mut next = vec![0.0; ndof];
     let mut next_r = vec![0.0; ndof];
     let f = vec![0.0; ndof];
@@ -224,13 +233,13 @@ fn final_step_velocity_matches_the_frozen_reference() {
         solver.step_with(&up, &un, &f, &mut next, &mut ws);
         std::mem::swap(&mut up, &mut un);
         std::mem::swap(&mut un, &mut next);
-        // Oracle B: the frozen pre-optimization reference step.
+        // Oracle B: the frozen pre-optimization reference step (interleaved).
         reference_step(&solver, &up_r, &un_r, &f, &mut next_r);
         std::mem::swap(&mut up_r, &mut un_r);
         std::mem::swap(&mut un_r, &mut next_r);
     }
-    assert_bits_eq(&up, &hup, "final u_prev vs longhand loop");
-    assert_bits_eq(&un, &hun, "final u_now vs longhand loop");
+    assert_bits_eq(&to_interleaved3(&up), &hup, "final u_prev vs longhand loop");
+    assert_bits_eq(&to_interleaved3(&un), &hun, "final u_now vs longhand loop");
 
     let vel_h: Vec<f64> = hun.iter().zip(&hup).map(|(a, b)| (a - b) / solver.dt).collect();
     let vel_r: Vec<f64> = un_r.iter().zip(&up_r).map(|(a, b)| (a - b) / solver.dt).collect();
