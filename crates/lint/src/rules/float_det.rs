@@ -15,6 +15,11 @@
 //!   kernel; they belong in telemetry and test drivers outside the region.
 //!
 //! Test lines are exempt (tests measure time and build HashMaps freely).
+//! A line carrying a `lint:wall-clock-ok(reason)` annotation — on the line
+//! itself or directly above it — is exempt from the time/randomness check
+//! only; this exists for the telemetry flight recorder, whose hot record
+//! path legitimately handles `Instant` values that are output-only
+//! (timestamps never feed arithmetic that reaches the state).
 
 use super::Rule;
 use crate::source::SourceFile;
@@ -48,7 +53,20 @@ impl Rule for FloatDeterminism {
             let why = if ORDER_HAZARDS.contains(&text) {
                 Some(format!("`{text}` has nondeterministic iteration order"))
             } else if TIME_RANDOM.contains(&text) {
-                Some(format!("`{text}` injects wall-clock/seed-dependent values"))
+                // The annotation may sit on the line itself or — rustfmt
+                // moves trailing comments off long signatures — as a pure
+                // comment line directly above (a trailing comment above
+                // annotates its own line only, not the one below).
+                let above = t.line > 1 && {
+                    let prev = file.line_text(t.line - 1);
+                    prev.trim_start().starts_with("//") && prev.contains("lint:wall-clock-ok")
+                };
+                let annotated = file.line_text(t.line).contains("lint:wall-clock-ok") || above;
+                if annotated {
+                    None
+                } else {
+                    Some(format!("`{text}` injects wall-clock/seed-dependent values"))
+                }
             } else if text == "as"
                 && code
                     .get(k + 1)

@@ -196,6 +196,26 @@ fn float_determinism_fires_on_casts_hash_iteration_and_time() {
 }
 
 #[test]
+fn float_determinism_wall_clock_annotation_exempts_time_only() {
+    // `lint:wall-clock-ok(...)` silences the time/randomness check on the
+    // annotated line or the line directly below it (rustfmt moves trailing
+    // comments above long signatures), but nothing else: casts and hash
+    // hazards still fire, and unannotated time lines still fire.
+    let src = "// lint:hot-path\n\
+               // lint:wall-clock-ok(output-only timestamp)\n\
+               fn record(epoch: Instant) -> u64 {\n\
+                   let t = Instant::now(); // lint:wall-clock-ok(output-only timestamp)\n\
+                   let n = 3usize as f64; // lint:wall-clock-ok(does not cover casts)\n\
+                   let bad = Instant::now();\n\
+                   n as u64\n\
+               }\n\
+               // lint:hot-path-end\n";
+    let out = run_rule(&mut FloatDeterminism, "crates/telemetry/src/kern.rs", src);
+    let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![5, 6], "cast on 5 and unannotated Instant on 6 still fire");
+}
+
+#[test]
 fn float_determinism_silent_on_int_casts_and_cold_code() {
     let src = "fn cold(n: usize) -> f64 { n as f64 }\n\
                // lint:hot-path\n\

@@ -28,6 +28,11 @@ pub enum Fault {
     /// Rank skips the exchange of `step` entirely (detected by peers via
     /// step-tag mismatch on the *next* exchange).
     DropExchange { rank: usize, step: u64 },
+    /// Rank overwrites one entry of its solution state with NaN before
+    /// executing `step` — a silent numerical corruption (bit flip, kernel
+    /// bug) that no comm-layer check can see. Detection is the job of a
+    /// numerics watchdog (the solver's `HealthHook`).
+    CorruptState { rank: usize, step: u64, index: usize },
 }
 
 /// A scripted set of faults for one SPMD run.
@@ -89,6 +94,17 @@ impl FaultPlan {
         )
     }
 
+    /// The state index `rank` corrupts before executing `step`, if any
+    /// (first scripted corruption wins).
+    pub fn corrupts_state(&self, rank: usize, step: u64) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::CorruptState { rank: r, step: s, index } if *r == rank && *s == step => {
+                Some(*index)
+            }
+            _ => None,
+        })
+    }
+
     /// The earliest scripted kill step of any rank, if one exists (used by
     /// supervisors to sanity-check that checkpoints precede the fault).
     pub fn first_kill_step(&self) -> Option<u64> {
@@ -131,6 +147,11 @@ impl RankFaults<'_> {
     pub fn drops(&self, step: u64) -> bool {
         self.plan.drops_exchange(self.rank, step)
     }
+
+    /// State index this rank corrupts before executing `step`, if any.
+    pub fn corrupts(&self, step: u64) -> Option<usize> {
+        self.plan.corrupts_state(self.rank, step)
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +163,8 @@ mod tests {
         let plan = FaultPlan::kill(2, 10)
             .and(Fault::DelayExchange { rank: 1, step: 4, millis: 3 })
             .and(Fault::DelayExchange { rank: 1, step: 4, millis: 2 })
-            .and(Fault::DropExchange { rank: 0, step: 7 });
+            .and(Fault::DropExchange { rank: 0, step: 7 })
+            .and(Fault::CorruptState { rank: 3, step: 8, index: 41 });
         assert!(plan.should_kill(2, 10));
         assert!(!plan.should_kill(2, 9));
         assert!(!plan.should_kill(1, 10));
@@ -150,6 +172,9 @@ mod tests {
         assert_eq!(plan.exchange_delay_ms(1, 5), 0);
         assert!(plan.drops_exchange(0, 7));
         assert!(!plan.drops_exchange(0, 8));
+        assert_eq!(plan.corrupts_state(3, 8), Some(41));
+        assert_eq!(plan.corrupts_state(3, 9), None);
+        assert_eq!(plan.rank_view(3).corrupts(8), Some(41));
         assert_eq!(plan.first_kill_step(), Some(10));
         assert!(!plan.is_empty());
         assert!(FaultPlan::none().is_empty());

@@ -276,10 +276,75 @@ impl Communicator {
         Ok(())
     }
 
+    /// [`Communicator::try_exchange_sum`] with a wall-clock attribution of
+    /// where the call spent its time: `wait` (blocked in receives, i.e. the
+    /// neighbor had not sent yet — the load-imbalance signal) vs `copy`
+    /// (packing, channel handoff, and unpack-add — the true data-movement
+    /// cost). Timing accumulates into `timing` so one struct can cover a
+    /// whole step. The untimed form stays separate so steady-state callers
+    /// pay no clock reads.
+    pub fn try_exchange_sum_timed(
+        &self,
+        neighbors: &[(usize, Vec<u32>)],
+        data: &mut [f64],
+        ncomp: usize,
+        tag: u64,
+        timing: &mut ExchangeTiming,
+    ) -> Result<(), CommError> {
+        let mut t = std::time::Instant::now();
+        for (nbr, ids) in neighbors {
+            let mut buf = Vec::with_capacity(ids.len() * ncomp);
+            for &i in ids {
+                for c in 0..ncomp {
+                    buf.push(data[i as usize * ncomp + c]);
+                }
+            }
+            self.try_send(*nbr, tag, buf)?;
+        }
+        timing.copy_ns += t.elapsed().as_nanos() as u64;
+        for (nbr, ids) in neighbors {
+            t = std::time::Instant::now();
+            let buf = self.try_recv(*nbr, tag)?;
+            timing.wait_ns += t.elapsed().as_nanos() as u64;
+            t = std::time::Instant::now();
+            if buf.len() != ids.len() * ncomp {
+                return Err(CommError::SizeMismatch {
+                    peer: *nbr,
+                    expected: ids.len() * ncomp,
+                    got: buf.len(),
+                });
+            }
+            for (k, &i) in ids.iter().enumerate() {
+                for c in 0..ncomp {
+                    data[i as usize * ncomp + c] += buf[k * ncomp + c];
+                }
+            }
+            timing.copy_ns += t.elapsed().as_nanos() as u64;
+        }
+        Ok(())
+    }
+
     /// Fail-stop [`Communicator::try_exchange_sum`] at a fixed tag.
     pub fn exchange_sum(&self, neighbors: &[(usize, Vec<u32>)], data: &mut [f64], ncomp: usize) {
         const TAG: u64 = 0xE0;
         self.try_exchange_sum(neighbors, data, ncomp, TAG).expect("peer rank hung up");
+    }
+}
+
+/// Wall-clock split of a timed sum-exchange (see
+/// [`Communicator::try_exchange_sum_timed`]). Nanosecond accumulators; a
+/// default value is a zeroed one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExchangeTiming {
+    /// Time blocked in receives — the peer had not posted its send yet.
+    pub wait_ns: u64,
+    /// Time packing/unpacking payloads and handing them to channels.
+    pub copy_ns: u64,
+}
+
+impl ExchangeTiming {
+    pub fn total_ns(&self) -> u64 {
+        self.wait_ns + self.copy_ns
     }
 }
 
@@ -446,6 +511,40 @@ mod tests {
             Ok::<_, CommError>(data)
         });
         assert_eq!(r[0].as_ref().unwrap(), &vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn timed_exchange_matches_untimed_and_attributes_time() {
+        // Same data movement as exchange_sum_adds_symmetric_contributions,
+        // but through the timed form; rank 1 sleeps before exchanging so
+        // rank 0 must observe genuine wait time.
+        let results = run_spmd(2, |c| {
+            let other = 1 - c.rank();
+            let plan = vec![(other, vec![1u32, 3u32])];
+            let mut data: Vec<f64> = (0..5).map(|i| c.rank() as f64 * 100.0 + i as f64).collect();
+            if c.rank() == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            let mut timing = ExchangeTiming::default();
+            c.try_exchange_sum_timed(&plan, &mut data, 1, 0xE7, &mut timing)?;
+            Ok::<_, CommError>((data, timing))
+        });
+        for (rank, r) in results.iter().enumerate() {
+            let (data, timing) = r.as_ref().unwrap();
+            for i in 0..5usize {
+                let expect = if i == 1 || i == 3 {
+                    (i + i) as f64 + 100.0
+                } else {
+                    rank as f64 * 100.0 + i as f64
+                };
+                assert_eq!(data[i], expect, "rank {rank} node {i}");
+            }
+            assert_eq!(timing.total_ns(), timing.wait_ns + timing.copy_ns);
+        }
+        // The sleeping rank finds rank 0's send already posted; rank 0 waits
+        // out the 5ms sleep in its blocking receive.
+        let (_, t0) = results[0].as_ref().unwrap();
+        assert!(t0.wait_ns >= 4_000_000, "rank 0 wait {} ns", t0.wait_ns);
     }
 
     #[test]

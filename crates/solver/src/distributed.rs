@@ -9,21 +9,23 @@
 
 use std::path::PathBuf;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::checkpoint::SolverState;
 use crate::elastic::{ElasticSolver, StepScope};
 use crate::harness::{
-    CheckpointHook, Exchange, FaultHook, RunConfig, RunOutcome, SolverHarness, StopReason,
-    TelemetryHook,
+    CheckpointHook, Exchange, FaultHook, HookCtx, RunConfig, RunOutcome, SolverHarness, StepHook,
+    StopReason, TelemetryHook,
 };
+use crate::health::{dump_post_mortem, HealthConfig, HealthHook};
 use quake_ckpt::{CheckpointPolicy, CheckpointReader, CheckpointWriter, CkptError, PeriodicSink};
 use quake_mesh::{partition_morton, ExchangePlan, HexMesh};
-use quake_parcomm::{run_spmd, Communicator, FaultPlan};
-use quake_telemetry::{reduce_across_ranks, Reduced, Registry, Snapshot};
+use quake_parcomm::{run_spmd, CommError, Communicator, ExchangeTiming, FaultPlan};
+use quake_telemetry::{reduce_across_ranks, Reduced, Registry, Snapshot, SpanId, TraceBuffer};
 
 /// What to run distributed: rank count, step count, optional initial
 /// `(u0, v0)` field, and whether each rank steps with an instrumented
-/// telemetry registry.
+/// telemetry registry (optionally with a flight recorder attached).
 #[derive(Clone, Copy, Debug)]
 pub struct DistConfig<'a> {
     pub n_ranks: usize,
@@ -33,11 +35,16 @@ pub struct DistConfig<'a> {
     /// ([`run_distributed`] only; the recovery supervisor records its own
     /// `recover/*` metrics instead).
     pub telemetry: bool,
+    /// Flight-recorder capacity per rank (events). `Some` implies tracing:
+    /// every rank's registry shares one epoch and records span slices, the
+    /// timed exchange splits `wait`/`copy`, and [`DistributedRun::traces`]
+    /// returns the per-rank buffers. Requires [`DistConfig::telemetry`].
+    pub trace_capacity: Option<usize>,
 }
 
 impl<'a> DistConfig<'a> {
     pub fn new(n_ranks: usize, n_steps: usize) -> DistConfig<'a> {
-        DistConfig { n_ranks, n_steps, initial: None, telemetry: false }
+        DistConfig { n_ranks, n_steps, initial: None, telemetry: false, trace_capacity: None }
     }
 
     /// Seed every rank with the initial `(u0, v0)` field.
@@ -52,10 +59,60 @@ impl<'a> DistConfig<'a> {
         self.telemetry = true;
         self
     }
+
+    /// Attach a per-rank flight recorder of `capacity` events (implies
+    /// telemetry) and return the merged-timeline buffers with the run.
+    pub fn with_trace(mut self, capacity: usize) -> DistConfig<'a> {
+        self.telemetry = true;
+        self.trace_capacity = Some(capacity);
+        self
+    }
 }
 
-/// The fail-stop interface exchange: panics if a peer disappears (the
-/// plain distributed path, where rank failure is not survivable anyway).
+/// Lazily interned sub-span ids of the timed exchange (one set per rank).
+struct ExchangeSpanIds {
+    wait: SpanId,
+    copy: SpanId,
+}
+
+/// Timed sum-exchange shared by both exchange flavors: measures the
+/// wait/copy split via [`Communicator::try_exchange_sum_timed`] and records
+/// both as sub-spans of the already-open `step/exchange` span (so the
+/// phase-accounting invariant — children sum into the parent's `child_ns` —
+/// still holds). The split is rendered copy-then-wait: durations are exact,
+/// but the true per-neighbor interleaving (pack → block → unpack) is not
+/// preserved in slice start times.
+fn exchange_timed(
+    comm: &Communicator,
+    neighbors: &[(usize, Vec<u32>)],
+    rhs: &mut [f64],
+    tag: u64,
+    reg: &Registry,
+    spans: &mut Option<ExchangeSpanIds>,
+) -> Result<(), CommError> {
+    let ids = spans.get_or_insert_with(|| ExchangeSpanIds {
+        wait: reg.span_id("step/exchange/wait"),
+        copy: reg.span_id("step/exchange/copy"),
+    });
+    let t0 = Instant::now();
+    let mut timing = ExchangeTiming::default();
+    comm.try_exchange_sum_timed(neighbors, rhs, 1, tag, &mut timing)?;
+    let t0_ns = reg.since_epoch_ns(t0);
+    reg.record_span(ids.copy, t0_ns, timing.copy_ns);
+    reg.record_span(ids.wait, t0_ns + timing.copy_ns, timing.wait_ns);
+    Ok(())
+}
+
+/// Tag of the untagged (plain fail-stop) exchange when it goes through the
+/// timed path — the same constant `Communicator::exchange_sum` uses, so both
+/// code paths interoperate.
+const PLAIN_EXCHANGE_TAG: u64 = 0xE0;
+
+/// The fail-stop interface exchange of the plain distributed path, where
+/// rank failure is not survivable anyway: the untimed branch panics inside
+/// `parcomm` if a peer disappears; the instrumented branch surfaces the
+/// error as [`StopReason::Comm`] and [`run_distributed`] asserts the run
+/// finished.
 ///
 /// `neighbors` lists *planar dof* indices (`comp * n_nodes + node`, matching
 /// the rhs layout the step hands out), expanded identically on both sides of
@@ -64,12 +121,18 @@ impl<'a> DistConfig<'a> {
 struct CommExchange<'c> {
     comm: &'c Communicator,
     neighbors: Vec<(usize, Vec<u32>)>,
+    spans: Option<ExchangeSpanIds>,
 }
 
 impl Exchange for CommExchange<'_> {
-    fn exchange(&mut self, _step: u64, rhs: &mut [f64]) -> Result<(), String> {
-        self.comm.exchange_sum(&self.neighbors, rhs, 1);
-        Ok(())
+    fn exchange(&mut self, _step: u64, rhs: &mut [f64], reg: &Registry) -> Result<(), String> {
+        if !reg.is_enabled() {
+            // Steady state pays zero clock reads beyond the phase spans.
+            self.comm.exchange_sum(&self.neighbors, rhs, 1);
+            return Ok(());
+        }
+        exchange_timed(self.comm, &self.neighbors, rhs, PLAIN_EXCHANGE_TAG, reg, &mut self.spans)
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -80,13 +143,60 @@ impl Exchange for CommExchange<'_> {
 struct TaggedExchange<'c> {
     comm: &'c Communicator,
     neighbors: Vec<(usize, Vec<u32>)>,
+    spans: Option<ExchangeSpanIds>,
 }
 
 impl Exchange for TaggedExchange<'_> {
-    fn exchange(&mut self, step: u64, rhs: &mut [f64]) -> Result<(), String> {
-        self.comm
-            .try_exchange_sum(&self.neighbors, rhs, 1, STEP_TAG_BASE + step)
+    fn exchange(&mut self, step: u64, rhs: &mut [f64], reg: &Registry) -> Result<(), String> {
+        if !reg.is_enabled() {
+            return self
+                .comm
+                .try_exchange_sum(&self.neighbors, rhs, 1, STEP_TAG_BASE + step)
+                .map_err(|e| e.to_string());
+        }
+        exchange_timed(self.comm, &self.neighbors, rhs, STEP_TAG_BASE + step, reg, &mut self.spans)
             .map_err(|e| e.to_string())
+    }
+}
+
+/// Per-step cross-rank load-imbalance gauge: after every step each rank
+/// takes the wall-time delta of its `step/elements` span, the ranks
+/// allreduce max and sum, and every rank records `imbalance` =
+/// max / mean (≥ 1.0; 1.0 = perfectly balanced) as a gauge (last step),
+/// a histogram sample (distribution over steps), and — when a flight
+/// recorder is attached — a timeline mark. The reduced values are identical
+/// on every rank, so the metric participates cleanly in the end-of-run
+/// cross-rank reduction.
+struct ImbalanceHook<'c> {
+    comm: &'c Communicator,
+    mark: SpanId,
+    prev_elements_ns: u64,
+}
+
+impl<'c> ImbalanceHook<'c> {
+    fn new(comm: &'c Communicator, reg: &Registry) -> ImbalanceHook<'c> {
+        ImbalanceHook { comm, mark: reg.span_id("imbalance"), prev_elements_ns: 0 }
+    }
+}
+
+impl StepHook for ImbalanceHook<'_> {
+    fn after_step(&mut self, ctx: &mut HookCtx<'_>) -> Result<(), StopReason> {
+        let total = ctx.reg.span_stats("step/elements").map_or(0, |s| s.total_ns);
+        let delta = (total - self.prev_elements_ns) as f64;
+        self.prev_elements_ns = total;
+        // Two tiny collectives per step; this hook only runs on the
+        // instrumented path, so the steady-state loop never sees them.
+        let mut sum = [delta];
+        self.comm.allreduce_sum(&mut sum);
+        let max = self.comm.allreduce_max(delta);
+        let mean = sum[0] / self.comm.size() as f64;
+        let imb = if mean > 0.0 { max / mean } else { 1.0 };
+        ctx.reg.gauge("imbalance", imb);
+        ctx.reg.observe("imbalance", imb);
+        if ctx.reg.trace_is_enabled() {
+            ctx.reg.trace_mark(self.mark, imb);
+        }
+        Ok(())
     }
 }
 
@@ -107,6 +217,10 @@ pub struct DistributedRun {
     /// imbalance view of the paper's scaling tables. Empty unless telemetry
     /// was requested.
     pub reduced: Vec<Reduced>,
+    /// Per-rank flight-recorder buffers sharing one epoch (empty unless
+    /// [`DistConfig::with_trace`] was requested). Merge with
+    /// [`quake_telemetry::json::chrome_trace`] for a per-rank-track timeline.
+    pub traces: Vec<TraceBuffer>,
 }
 
 /// Run the elastic solver on [`DistConfig::n_ranks`] SPMD ranks with a
@@ -121,27 +235,52 @@ pub struct DistributedRun {
 pub fn run_distributed(solver: &ElasticSolver<'_>, cfg: &DistConfig<'_>) -> DistributedRun {
     let setup = DistSetup::build(solver, cfg.n_ranks);
     let volumes = setup.volumes.clone();
+    // One epoch for every rank's registry: per-rank timestamps land on a
+    // common timeline, so the merged trace shows true cross-rank skew.
+    let epoch = Instant::now();
 
     let results = run_spmd(cfg.n_ranks, |comm: &Communicator| {
         let rank = comm.rank();
         let scope = &setup.scopes[rank];
-        let mut ws =
-            if cfg.telemetry { solver.workspace_instrumented(rank) } else { solver.workspace() };
+        let mut ws = if cfg.telemetry {
+            let reg = Registry::with_epoch(rank, epoch);
+            if let Some(cap) = cfg.trace_capacity {
+                reg.enable_trace(cap);
+            }
+            solver.workspace_with(reg)
+        } else {
+            solver.workspace()
+        };
         let mut state = solver.initial_state(0, cfg.initial);
-        let mut exchange =
-            CommExchange { comm, neighbors: setup.neighbors(rank, solver.mesh.n_nodes()) };
+        let mut exchange = CommExchange {
+            comm,
+            neighbors: setup.neighbors(rank, solver.mesh.n_nodes()),
+            spans: None,
+        };
         let run_cfg = RunConfig::to_step(cfg.n_steps as u64).with_scope(scope);
         let harness = SolverHarness::new(solver);
-        if cfg.telemetry {
+        let outcome = if cfg.telemetry {
             // This rank's true interface traffic: 3 doubles per shared
             // node, each sent AND received.
             let mut shape = solver.phase_shape(scope);
             shape.exchange_doubles = 2 * 3 * volumes[rank] as u64;
             let mut telemetry = TelemetryHook::shaped(solver, shape);
-            harness.run(&run_cfg, &mut state, &mut ws, &mut exchange, &mut [&mut telemetry]);
+            let mut imbalance = ImbalanceHook::new(comm, &ws.reg);
+            harness.run(
+                &run_cfg,
+                &mut state,
+                &mut ws,
+                &mut exchange,
+                &mut [&mut telemetry, &mut imbalance],
+            )
         } else {
-            harness.run(&run_cfg, &mut state, &mut ws, &mut exchange, &mut []);
-        }
+            harness.run(&run_cfg, &mut state, &mut ws, &mut exchange, &mut [])
+        };
+        // Fail-stop path: a stopped rank means a dead peer — surface it.
+        assert!(
+            matches!(outcome, RunOutcome::Finished { .. }),
+            "fail-stop distributed run stopped: {outcome:?}"
+        );
 
         // Reduce the common metrics across ranks. The per-color element
         // spans are rank-local names (color counts differ per partition), so
@@ -155,30 +294,36 @@ pub fn run_distributed(solver: &ElasticSolver<'_>, cfg: &DistConfig<'_>) -> Dist
         } else {
             (Snapshot::default(), Vec::new())
         };
+        let trace = ws.reg.trace_buffer();
         // Public boundary: hand the states back interleaved.
         (
             crate::layout::to_interleaved3(&state.u_prev),
             crate::layout::to_interleaved3(&state.u_now),
             snapshot,
             reduced,
+            trace,
         )
     });
 
     let mut states = Vec::with_capacity(cfg.n_ranks);
     let mut snapshots = Vec::with_capacity(cfg.n_ranks);
     let mut reduced = Vec::new();
-    for (up, un, snap, red) in results {
+    let mut traces = Vec::new();
+    for (up, un, snap, red, trace) in results {
         states.push((up, un));
         snapshots.push(snap);
         if reduced.is_empty() {
             reduced = red; // identical on every rank — keep rank 0's copy
+        }
+        if cfg.trace_capacity.is_some() {
+            traces.push(trace);
         }
     }
     if !cfg.telemetry {
         snapshots.clear();
     }
 
-    DistributedRun { states, elements: setup.per_rank, volumes, snapshots, reduced }
+    DistributedRun { states, elements: setup.per_rank, volumes, snapshots, reduced, traces }
 }
 
 /// The rank decomposition shared by every distributed entry point: Morton
@@ -268,18 +413,52 @@ pub struct RecoveryConfig {
     /// [`FaultHook`] on the **first attempt only** (so a retry is clean).
     /// [`FaultPlan::none`] is the production configuration.
     pub faults: FaultPlan,
+    /// When set, each rank runs with a small flight recorder and any rank
+    /// that does not finish an attempt (killed, comm abort, checkpoint
+    /// error, health abort) writes a post-mortem NDJSON dump
+    /// (`rank{r}.attempt{a}.postmortem.ndjson`) into this directory before
+    /// the supervisor decides whether to retry.
+    pub dump_dir: Option<PathBuf>,
+    /// When set, every rank runs a numerics [`HealthHook`] with this
+    /// configuration, ordered **before** the checkpoint hook — so no state a
+    /// rank persists has failed the health check, and the restore line after
+    /// a watchdog abort predates the corruption. The watchdog cadence should
+    /// divide [`RecoveryConfig::every_steps`]. Per-rank violation dumps
+    /// (`rank{r}.attempt{a}.health.ndjson`) land in
+    /// [`RecoveryConfig::dump_dir`] when that is set.
+    pub health: Option<HealthConfig>,
 }
 
 impl RecoveryConfig {
     /// Fault-free supervisor over `ckpt_dir` with a step cadence and retry
     /// budget.
     pub fn new(ckpt_dir: PathBuf, every_steps: u64, max_attempts: usize) -> RecoveryConfig {
-        RecoveryConfig { ckpt_dir, every_steps, max_attempts, faults: FaultPlan::none() }
+        RecoveryConfig {
+            ckpt_dir,
+            every_steps,
+            max_attempts,
+            faults: FaultPlan::none(),
+            dump_dir: None,
+            health: None,
+        }
     }
 
     /// Inject this fault plan on the first attempt.
     pub fn with_faults(mut self, faults: FaultPlan) -> RecoveryConfig {
         self.faults = faults;
+        self
+    }
+
+    /// Write per-rank post-mortem dumps of failed attempts into `dir`.
+    pub fn with_dump_dir(mut self, dir: PathBuf) -> RecoveryConfig {
+        self.dump_dir = Some(dir);
+        self
+    }
+
+    /// Run every rank under a numerics watchdog (see
+    /// [`RecoveryConfig::health`] for the ordering contract).
+    pub fn with_health(mut self, health: HealthConfig) -> RecoveryConfig {
+        self.health = Some(health);
         self
     }
 }
@@ -367,8 +546,20 @@ pub fn run_distributed_recoverable(
     let writers: Vec<CheckpointWriter> = (0..n_ranks)
         .map(|r| CheckpointWriter::new(&rcfg.ckpt_dir, &format!("rank{r}")))
         .collect::<Result<_, _>>()?;
+    if let Some(dir) = &rcfg.dump_dir {
+        std::fs::create_dir_all(dir)?;
+    }
 
     let fresh = || solver.initial_state(0, cfg.initial);
+    // Unless the caller pinned one, dumps name restore lines in terms of
+    // this supervisor's own checkpoint cadence.
+    let health_cfg = rcfg.health.as_ref().map(|hc| {
+        let mut hc = hc.clone();
+        if hc.ckpt_every.is_none() {
+            hc.ckpt_every = Some(rcfg.every_steps);
+        }
+        hc
+    });
 
     let mut outcomes: Vec<Vec<RankOutcome>> = Vec::new();
     let mut restored_step = 0u64;
@@ -407,6 +598,8 @@ pub fn run_distributed_recoverable(
                 &writers[rank],
                 &policy,
                 if inject { &rcfg.faults } else { &no_faults },
+                rcfg.dump_dir.as_deref().map(|d| (d, attempt)),
+                health_cfg.as_ref(),
             )
         });
 
@@ -488,23 +681,56 @@ fn run_rank_recoverable(
     writer: &CheckpointWriter,
     policy: &CheckpointPolicy,
     faults: &FaultPlan,
+    dump: Option<(&std::path::Path, usize)>,
+    health: Option<&HealthConfig>,
 ) -> RankRun {
+    // Flight-recorder capacity of the post-mortem path: enough for the tail
+    // of a run's phase slices without measurable steady-state cost.
+    const DUMP_TRACE_EVENTS: usize = 4096;
     let rank = comm.rank();
-    let mut ws = solver.workspace();
-    let mut exchange =
-        TaggedExchange { comm, neighbors: setup.neighbors(rank, solver.mesh.n_nodes()) };
+    let mut ws = if dump.is_some() {
+        let reg = Registry::with_epoch(rank, Instant::now());
+        reg.enable_trace(DUMP_TRACE_EVENTS);
+        solver.workspace_with(reg)
+    } else {
+        solver.workspace()
+    };
+    let mut exchange = TaggedExchange {
+        comm,
+        neighbors: setup.neighbors(rank, solver.mesh.n_nodes()),
+        spans: None,
+    };
     let mut fault_hook = FaultHook::new(faults.rank_view(rank));
     let mut sink = PeriodicSink::new(writer, policy);
     let mut ckpt_hook = CheckpointHook::new(&mut sink);
+    let mut health_hook = health.map(|hc| {
+        let mut hc = hc.clone();
+        // Per-rank violation dump beside the generic post-mortems.
+        hc.dump_path = dump
+            .map(|(dir, attempt)| dir.join(format!("rank{rank}.attempt{attempt}.health.ndjson")));
+        HealthHook::new(solver, hc)
+    });
     let run_cfg = RunConfig::to_step(n_steps).with_scope(&setup.scopes[rank]);
-    let outcome = SolverHarness::new(solver).run(
-        &run_cfg,
-        &mut state,
-        &mut ws,
-        &mut exchange,
-        &mut [&mut fault_hook, &mut ckpt_hook],
-    );
-    match outcome {
+    // HealthHook precedes CheckpointHook: after_step processing stops at the
+    // first erroring hook, so a state that fails the health check is never
+    // offered to the checkpoint sink.
+    let outcome = match health_hook.as_mut() {
+        Some(h) => SolverHarness::new(solver).run(
+            &run_cfg,
+            &mut state,
+            &mut ws,
+            &mut exchange,
+            &mut [&mut fault_hook, h, &mut ckpt_hook],
+        ),
+        None => SolverHarness::new(solver).run(
+            &run_cfg,
+            &mut state,
+            &mut ws,
+            &mut exchange,
+            &mut [&mut fault_hook, &mut ckpt_hook],
+        ),
+    };
+    let run = match outcome {
         RunOutcome::Finished { .. } => RankRun::Finished(state),
         RunOutcome::Stopped { step, reason: StopReason::Killed } => RankRun::Killed { step },
         RunOutcome::Stopped { step, reason: StopReason::Comm(e) } => {
@@ -513,7 +739,23 @@ fn run_rank_recoverable(
         RunOutcome::Stopped { step, reason: StopReason::Ckpt(e) } => {
             RankRun::Aborted { step, reason: format!("checkpoint write: {e}") }
         }
+        RunOutcome::Stopped { step, reason: StopReason::Health(e) } => {
+            RankRun::Aborted { step, reason: format!("health watchdog: {e}") }
+        }
+    };
+    if let Some((dir, attempt)) = dump {
+        let (step, reason) = match &run {
+            RankRun::Finished(_) => (n_steps, String::new()),
+            RankRun::Killed { step } => (*step, "killed by fault plan".to_string()),
+            RankRun::Aborted { step, reason } => (*step, reason.clone()),
+        };
+        if !reason.is_empty() {
+            let path = dir.join(format!("rank{rank}.attempt{attempt}.postmortem.ndjson"));
+            // Best effort: a failed dump must not mask the rank outcome.
+            let _ = dump_post_mortem(&path, &ws.reg, &reason, step, DUMP_TRACE_EVENTS);
+        }
     }
+    run
 }
 
 /// The consistent restore line: the highest step at which **every** rank's
@@ -659,6 +901,76 @@ mod tests {
         assert!(run.reduced.iter().all(|r| !r.name.contains("color")));
     }
 
+    #[test]
+    fn traced_run_splits_exchange_and_merges_rank_timelines() {
+        let half = 1u32 << (MAX_LEVEL - 1);
+        let mut tree = LinearOctree::build(|o| o.level < 2 || (o.level < 3 && o.x < half));
+        tree.balance(BalanceMode::Full);
+        let mesh = HexMesh::from_octree(&tree, 8.0, |_, _, _, _| ElemMaterial {
+            lambda: 2.0,
+            mu: 1.0,
+            rho: 1.0,
+        });
+        let mut cfg = ElasticConfig::new(1.0);
+        cfg.dt = Some(0.05);
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = pulse(&mesh);
+        let (ranks, steps) = (4usize, 6usize);
+        let run = run_distributed(
+            &solver,
+            &DistConfig::new(ranks, steps).with_initial(&u0, &v0).with_trace(4096),
+        );
+
+        // One flight recorder per rank, none wrapped at this size.
+        assert_eq!(run.traces.len(), ranks);
+        for (rank, buf) in run.traces.iter().enumerate() {
+            assert_eq!(buf.rank, rank);
+            assert_eq!(buf.dropped, 0);
+            let count = |n: &str| buf.events.iter().filter(|e| e.name == n).count();
+            assert_eq!(count("step"), steps, "rank {rank}");
+            // The timed exchange recorded its split every step...
+            assert_eq!(count("step/exchange/wait"), steps, "rank {rank}");
+            assert_eq!(count("step/exchange/copy"), steps, "rank {rank}");
+            // ...and the sub-slices nest inside their step's exchange slice.
+            for name in ["step/exchange/wait", "step/exchange/copy"] {
+                for sub in buf.events.iter().filter(|e| e.name == name) {
+                    assert!(
+                        buf.events.iter().any(|x| x.name == "step/exchange"
+                            && x.t0_ns <= sub.t0_ns
+                            && sub.t0_ns + sub.dur_ns <= x.t0_ns + x.dur_ns),
+                        "rank {rank}: {name} slice outside every exchange slice"
+                    );
+                }
+            }
+            // The imbalance hook dropped one mark per step.
+            assert_eq!(
+                buf.events
+                    .iter()
+                    .filter(|e| e.name == "imbalance" && e.kind == quake_telemetry::TraceKind::Mark)
+                    .count(),
+                steps,
+                "rank {rank}"
+            );
+        }
+        // The split feeds the aggregate stats too, nested under exchange.
+        for snap in &run.snapshots {
+            for ph in ["step/exchange/wait", "step/exchange/copy"] {
+                assert_eq!(snap.get(&format!("span.{ph}.count")), Some(steps as f64));
+            }
+        }
+        // The imbalance gauge reduces coherently (identical on all ranks).
+        let imb = run.reduced.iter().find(|r| r.name == "gauge.imbalance").unwrap();
+        assert!(imb.min >= 1.0 && (imb.max - imb.min).abs() < 1e-12, "{imb:?}");
+
+        // The merged Chrome trace carries one track per rank.
+        let json = quake_telemetry::json::chrome_trace(&run.traces);
+        for rank in 0..ranks {
+            assert!(json.contains(&format!("\"rank {rank}\"")), "missing track for rank {rank}");
+        }
+        assert!(json.contains("\"step/exchange/wait\""));
+        assert!(json.contains("\"step/exchange/copy\""));
+    }
+
     fn recovery_setup() -> (HexMesh, ElasticConfig) {
         let half = 1u32 << (MAX_LEVEL - 1);
         let mut tree = LinearOctree::build(|o| o.level < 2 || (o.level < 3 && o.x < half));
@@ -751,6 +1063,83 @@ mod tests {
         }
         assert!(run.outcomes[1].iter().all(|o| *o == RankOutcome::Finished));
         assert_eq!(reg.counter("recover/recoveries"), Some(1));
+        assert_matches_unfaulted(&mesh, &run, &reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nan_corruption_is_caught_dumped_and_recovered_bit_identically() {
+        let (mesh, cfg) = recovery_setup();
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = pulse(&mesh);
+        let (ranks, steps) = (4usize, 16usize);
+        let reference =
+            run_distributed(&solver, &DistConfig::new(ranks, steps).with_initial(&u0, &v0));
+
+        let dir = tmpdir("nan-watchdog");
+        let dumps = dir.join("dumps");
+        // Checkpoint cadence 4, watchdog cadence 4 (health precedes ckpt in
+        // the hook list, so no persisted line can hold the corruption).
+        // Rank 1 silently NaNs one velocity entry before executing step 8:
+        // the step-8 line (written after step 7) is clean, detection comes
+        // at the next cadence boundary (post-step index 12, while executing
+        // step 11) — within one cadence window of the corruption.
+        let cfg_r = RecoveryConfig::new(dir.clone(), 4, 3)
+            .with_faults(FaultPlan::none().and(quake_parcomm::Fault::CorruptState {
+                rank: 1,
+                step: 8,
+                index: 10,
+            }))
+            .with_dump_dir(dumps.clone())
+            .with_health(crate::health::HealthConfig::every(4));
+        let reg = Registry::new(0);
+        let run = run_distributed_recoverable(
+            &solver,
+            &DistConfig::new(ranks, steps).with_initial(&u0, &v0),
+            &cfg_r,
+            &reg,
+        )
+        .unwrap();
+        assert!(run.finished, "outcomes: {:?}", run.outcomes);
+        assert_eq!(run.attempts, 2, "one watchdog abort, one clean retry");
+        assert_eq!(run.recoveries, 1);
+        assert_eq!(run.restored_step, 8, "restored from the last pre-corruption line");
+        // Attempt 0: rank 1 aborted by the watchdog within one cadence
+        // window; every other rank also stopped (NaN contamination caught by
+        // its own watchdog, or a dead-peer comm error), none hung.
+        match &run.outcomes[0][1] {
+            RankOutcome::Aborted { step, reason } => {
+                assert!(reason.contains("health watchdog"), "{reason}");
+                assert!(reason.contains("non-finite"), "{reason}");
+                assert_eq!(*step, 11, "caught at the first cadence boundary after step 8");
+            }
+            o => panic!("rank 1: {o:?}"),
+        }
+        for r in [0usize, 2, 3] {
+            assert!(
+                matches!(run.outcomes[0][r], RankOutcome::Aborted { .. }),
+                "rank {r}: {:?}",
+                run.outcomes[0][r]
+            );
+        }
+        assert!(run.outcomes[1].iter().all(|o| *o == RankOutcome::Finished));
+
+        // The watchdog's violation dump: diagnostic header + flight-recorder
+        // tail with the recent step slices.
+        let health_dump =
+            std::fs::read_to_string(dumps.join("rank1.attempt0.health.ndjson")).unwrap();
+        let lines: Vec<&str> = health_dump.lines().collect();
+        assert!(lines[0].contains("\"type\":\"health_violation\""));
+        assert!(lines[0].contains("\"step\":12"));
+        assert!(lines[0].contains("\"last_valid_ckpt\":8"));
+        assert!(lines[0].contains("\"bad_dofs\":[["));
+        assert!(lines.len() > 1, "flight-recorder tail expected");
+        assert!(lines[1..].iter().filter(|l| l.contains("\"name\":\"step\"")).count() >= 4);
+        // The generic post-mortem of the failed rank exists too.
+        assert!(dumps.join("rank1.attempt0.postmortem.ndjson").exists());
+
+        // Resume from the last valid line is bit-identical to an unfaulted
+        // run: no persisted checkpoint ever held the corruption.
         assert_matches_unfaulted(&mesh, &run, &reference);
         let _ = std::fs::remove_dir_all(&dir);
     }

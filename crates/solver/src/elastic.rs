@@ -357,6 +357,14 @@ impl<'m> ElasticSolver<'m> {
         StepWorkspace::with_registry(3 * self.mesh.n_nodes(), Registry::new(rank))
     }
 
+    /// A workspace driven by a caller-built [`Registry`] — for drivers that
+    /// need a shared epoch across ranks or a flight recorder attached before
+    /// the first step (see [`Registry::with_epoch`] /
+    /// [`Registry::enable_trace`]).
+    pub fn workspace_with(&self, reg: Registry) -> StepWorkspace {
+        StepWorkspace::with_registry(3 * self.mesh.n_nodes(), reg)
+    }
+
     /// The cached full-domain step schedule (the one [`ElasticSolver::step_with`] runs).
     pub fn full_scope(&self) -> &StepScope {
         &self.full_scope
@@ -448,7 +456,7 @@ impl<'m> ElasticSolver<'m> {
         u_next: &mut [f64],
         ws: &mut StepWorkspace,
     ) {
-        self.step_scoped_impl(&self.full_scope, u_prev, u_now, f_ext, u_next, ws, |_| {}, false);
+        self.step_scoped_impl(&self.full_scope, u_prev, u_now, f_ext, u_next, ws, |_, _| {}, false);
     }
 
     /// [`ElasticSolver::step_with`] with the threaded sweep disabled even
@@ -463,7 +471,7 @@ impl<'m> ElasticSolver<'m> {
         u_next: &mut [f64],
         ws: &mut StepWorkspace,
     ) {
-        self.step_scoped_impl(&self.full_scope, u_prev, u_now, f_ext, u_next, ws, |_| {}, true);
+        self.step_scoped_impl(&self.full_scope, u_prev, u_now, f_ext, u_next, ws, |_, _| {}, true);
     }
 
     // lint:hot-path — the explicit step and its element kernels. The
@@ -482,7 +490,10 @@ impl<'m> ElasticSolver<'m> {
     /// fold); everything after the exchange is local and replicated.
     ///
     /// All nodal vectors — including the rhs handed to `exchange` — are
-    /// planar (`dof = comp * n_nodes + node`).
+    /// planar (`dof = comp * n_nodes + node`). The closure also receives the
+    /// workspace registry (which `ws` itself mutably borrows at that point),
+    /// so an instrumented exchange can attribute `wait`/`copy` sub-intervals
+    /// under the open `step/exchange` span.
     ///
     /// Steady-state heap allocations: **zero** (scratch lives in `ws`, the
     /// face list and schedule in `scope`).
@@ -494,7 +505,7 @@ impl<'m> ElasticSolver<'m> {
         f_ext: &[f64],
         u_next: &mut [f64],
         ws: &mut StepWorkspace,
-        exchange: impl FnOnce(&mut [f64]),
+        exchange: impl FnOnce(&mut [f64], &Registry),
     ) {
         self.step_scoped_impl(scope, u_prev, u_now, f_ext, u_next, ws, exchange, false);
     }
@@ -508,7 +519,7 @@ impl<'m> ElasticSolver<'m> {
         f_ext: &[f64],
         u_next: &mut [f64],
         ws: &mut StepWorkspace,
-        exchange: impl FnOnce(&mut [f64]),
+        exchange: impl FnOnce(&mut [f64], &Registry),
         force_serial: bool,
     ) {
         let mesh = self.mesh;
@@ -577,7 +588,7 @@ impl<'m> ElasticSolver<'m> {
         // Sum-exchange the partially assembled terms at interface nodes
         // (planar dof indices).
         reg.enter(ids.exchange);
-        exchange(rhs);
+        exchange(rhs, reg);
         reg.exit(ids.exchange);
 
         // Fused tail: master-space history terms with the *projected*
@@ -747,6 +758,39 @@ impl<'m> ElasticSolver<'m> {
         }
         e_kin + e_str
     }
+
+    /// [`ElasticSolver::energy`] over vectors in the solver's internal
+    /// *planar* layout (`dof = comp * n_nodes + node`) — the layout of
+    /// [`SolverState::u_prev`]/[`SolverState::u_now`], so the health
+    /// watchdog can sample energy without a layout conversion. Identical
+    /// summation order per node/element as the interleaved form.
+    pub fn energy_planar(&self, u_prev: &[f64], u_now: &[f64]) -> f64 {
+        let n = self.mesh.n_nodes();
+        let mats = elastic_hex_matrices();
+        let mut e_kin = 0.0;
+        for (nd, &m) in self.mass.iter().enumerate() {
+            for comp in 0..3 {
+                let d = comp * n + nd;
+                let v = (u_now[d] - u_prev[d]) / self.dt;
+                e_kin += 0.5 * m * v * v;
+            }
+        }
+        let mut e_str = 0.0;
+        for e in &self.mesh.elements {
+            let mut x = [0.0; 24];
+            for (c, &nd) in e.nodes.iter().enumerate() {
+                for comp in 0..3 {
+                    x[3 * c + comp] = u_now[comp * n + nd as usize];
+                }
+            }
+            let mut y = [0.0; 24];
+            elastic_matvec(mats, e.material.lambda, e.material.mu, e.h, &x, &mut y);
+            for i in 0..24 {
+                e_str += 0.5 * x[i] * y[i];
+            }
+        }
+        e_kin + e_str
+    }
 }
 
 #[cfg(test)]
@@ -821,6 +865,22 @@ mod tests {
         let e_end = solver.energy(&up, &un);
         assert!((e_end - e_start).abs() < 5e-3 * e_start, "energy drift {e_start} -> {e_end}");
         assert!(e_start > 0.0);
+    }
+
+    #[test]
+    fn energy_planar_matches_interleaved_energy_bitwise() {
+        let mesh = uniform_mesh(3, 8.0, 2.0, 1.0, 1.0);
+        let mut cfg = ElasticConfig::new(0.5);
+        cfg.dt = Some(0.05);
+        let solver = ElasticSolver::new(&mesh, &cfg);
+        let (u0, v0) = shear_pulse(&mesh, 4.0, 1.0, 1.0);
+        let (up, un) = run_to_state(&solver, Some((&u0, &v0)), 7);
+        let e = solver.energy(&up, &un);
+        let e_planar =
+            solver.energy_planar(&crate::layout::to_planar3(&up), &crate::layout::to_planar3(&un));
+        // Same per-node / per-element summation order: identical to the bit.
+        assert_eq!(e.to_bits(), e_planar.to_bits(), "{e} vs {e_planar}");
+        assert!(e > 0.0);
     }
 
     #[test]

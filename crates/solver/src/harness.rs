@@ -88,6 +88,10 @@ pub enum StopReason {
     Comm(String),
     /// A checkpoint sink failed to persist the state.
     Ckpt(CkptError),
+    /// The numerics health watchdog ([`crate::health::HealthHook`]) found a
+    /// violation (NaN/Inf in the fields, or unphysical energy growth) and
+    /// aborted the run after dumping its post-mortem.
+    Health(String),
 }
 
 /// How a harness run ended.
@@ -144,14 +148,17 @@ impl StepHook for NoopHook {}
 /// step-tagged).
 pub trait Exchange {
     /// Sum-exchange the partially assembled interface values of `step`.
-    fn exchange(&mut self, step: u64, rhs: &mut [f64]) -> Result<(), String>;
+    /// `reg` is the driving workspace's registry: an instrumented exchange
+    /// records its `wait`/`copy` split there (the `step/exchange` span is
+    /// open around this call, so recorded sub-intervals nest under it).
+    fn exchange(&mut self, step: u64, rhs: &mut [f64], reg: &Registry) -> Result<(), String>;
 }
 
 /// No communication: the serial exchange.
 pub struct NoExchange;
 
 impl Exchange for NoExchange {
-    fn exchange(&mut self, _step: u64, _rhs: &mut [f64]) -> Result<(), String> {
+    fn exchange(&mut self, _step: u64, _rhs: &mut [f64], _reg: &Registry) -> Result<(), String> {
         Ok(())
     }
 }
@@ -250,21 +257,29 @@ impl<'s, 'm> SolverHarness<'s, 'm> {
                 ws.reg.exit(ws.ids.source);
             }
             let mut comm_err = None;
-            solver.step_scoped(scope, &state.u_prev, &state.u_now, &f, &mut u_next, ws, |rhs| {
-                let mut flow = ExchangeFlow::Proceed;
-                for h in hooks.iter_mut() {
-                    if h.pre_exchange(&info, k) == ExchangeFlow::Skip {
-                        flow = ExchangeFlow::Skip;
+            solver.step_scoped(
+                scope,
+                &state.u_prev,
+                &state.u_now,
+                &f,
+                &mut u_next,
+                ws,
+                |rhs, reg| {
+                    let mut flow = ExchangeFlow::Proceed;
+                    for h in hooks.iter_mut() {
+                        if h.pre_exchange(&info, k) == ExchangeFlow::Skip {
+                            flow = ExchangeFlow::Skip;
+                        }
                     }
-                }
-                if flow == ExchangeFlow::Skip {
-                    tainted = true;
-                    return;
-                }
-                if let Err(e) = exchange.exchange(k, rhs) {
-                    comm_err = Some(e);
-                }
-            });
+                    if flow == ExchangeFlow::Skip {
+                        tainted = true;
+                        return;
+                    }
+                    if let Err(e) = exchange.exchange(k, rhs, reg) {
+                        comm_err = Some(e);
+                    }
+                },
+            );
             // A failed exchange aborts before the swaps: the state keeps
             // describing the last *completed* step.
             if let Some(e) = comm_err {
@@ -519,9 +534,11 @@ impl StepHook for TelemetryHook<'_, '_> {
 }
 
 /// Injects a scripted [`FaultPlan`](quake_parcomm::FaultPlan) into the loop:
-/// kills the rank at the top of its scripted step, and drops or delays the
-/// mid-step exchange. The production configuration is simply *no FaultHook
-/// in the list* — injection support costs nothing when absent.
+/// kills the rank at the top of its scripted step, corrupts a solution entry
+/// with NaN (a silent numerical fault only a `HealthHook` can catch), and
+/// drops or delays the mid-step exchange. The production configuration is
+/// simply *no FaultHook in the list* — injection support costs nothing when
+/// absent.
 pub struct FaultHook<'p> {
     faults: RankFaults<'p>,
 }
@@ -536,6 +553,10 @@ impl StepHook for FaultHook<'_> {
     fn before_step(&mut self, ctx: &mut HookCtx<'_>) -> Result<(), StopReason> {
         if self.faults.kills(ctx.state.step) {
             return Err(StopReason::Killed);
+        }
+        if let Some(index) = self.faults.corrupts(ctx.state.step) {
+            let i = index % ctx.state.u_now.len().max(1);
+            ctx.state.u_now[i] = f64::NAN;
         }
         Ok(())
     }

@@ -29,6 +29,9 @@
 //!   every public `run_*` entry point delegates to, driven by a
 //!   [`harness::RunConfig`] plus ordered [`harness::StepHook`]s (telemetry,
 //!   checkpointing, receiver sampling, fault injection),
+//! - [`health`]: the numerics watchdog hook — NaN/Inf scans and discrete
+//!   energy-growth bounds on a step cadence, with an NDJSON post-mortem dump
+//!   (diagnostic header + flight-recorder tail) on violation,
 //! - [`distributed`]: the rank-parallel elastic solver over `quake-parcomm`
 //!   (owner-computes + interface sum-exchange), bit-identical to the serial
 //!   solver,
@@ -47,6 +50,7 @@ pub mod checkpoint;
 pub mod distributed;
 pub mod elastic;
 pub mod harness;
+pub mod health;
 pub mod layout;
 pub mod receivers;
 pub mod reference;
@@ -66,6 +70,7 @@ pub use harness::{
     CheckpointHook, Exchange, ExchangeFlow, FaultHook, HookCtx, NoExchange, NoopHook, ReceiverHook,
     RunConfig, RunInfo, RunOutcome, SolverHarness, StepHook, StopReason, TelemetryHook,
 };
+pub use health::{HealthConfig, HealthHook, HealthReport};
 pub use receivers::{lowpass_filtfilt, record_sample, record_sample_planar, Seismogram};
 pub use scalar3d::{Scalar3dConfig, Scalar3dSolver};
 pub use wave::ScalarWaveEq;

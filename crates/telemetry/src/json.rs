@@ -21,6 +21,63 @@ pub fn push_f64(out: &mut String, v: f64) {
     }
 }
 
+use crate::trace::{TraceBuffer, TraceKind};
+
+/// Merge per-rank flight-recorder buffers into one Chrome `trace_event`
+/// JSON document, loadable in Perfetto (<https://ui.perfetto.dev>) or
+/// `chrome://tracing`. One process ("quake"), one track per rank (`tid` =
+/// rank): span slices become complete events (`ph:"X"`, microsecond
+/// timestamps measured from the shared registry epoch), marks become
+/// thread-scoped instant events (`ph:"i"`) carrying their value in `args`.
+/// Buffers that wrapped announce the overwritten-event count in the track
+/// name so a truncated timeline is never mistaken for a complete one.
+pub fn chrome_trace(buffers: &[TraceBuffer]) -> String {
+    let mut s = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    s.push_str("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,\"tid\":0,");
+    s.push_str("\"args\":{\"name\":\"quake\"}}");
+    for buf in buffers {
+        let tid = buf.rank.to_string();
+        s.push_str(",{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":");
+        s.push_str(&tid);
+        s.push_str(",\"args\":{\"name\":");
+        if buf.dropped > 0 {
+            push_str(&mut s, &format!("rank {} (ring wrapped, {} dropped)", buf.rank, buf.dropped));
+        } else {
+            push_str(&mut s, &format!("rank {}", buf.rank));
+        }
+        s.push_str("}},{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":0,\"tid\":");
+        s.push_str(&tid);
+        s.push_str(",\"args\":{\"sort_index\":");
+        s.push_str(&tid);
+        s.push_str("}}");
+        for ev in &buf.events {
+            s.push_str(",{\"name\":");
+            push_str(&mut s, &ev.name);
+            s.push_str(",\"cat\":\"quake\",\"pid\":0,\"tid\":");
+            s.push_str(&tid);
+            s.push_str(",\"ts\":");
+            push_f64(&mut s, ev.t0_ns as f64 / 1e3);
+            match ev.kind {
+                TraceKind::Slice => {
+                    s.push_str(",\"ph\":\"X\",\"dur\":");
+                    push_f64(&mut s, ev.dur_ns as f64 / 1e3);
+                }
+                TraceKind::Mark => {
+                    s.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+                }
+            }
+            if let Some(arg) = ev.arg {
+                s.push_str(",\"args\":{\"value\":");
+                push_f64(&mut s, arg);
+                s.push('}');
+            }
+            s.push('}');
+        }
+    }
+    s.push_str("]}");
+    s
+}
+
 /// Append `s` as a quoted, escaped JSON string.
 pub fn push_str(out: &mut String, s: &str) {
     out.push('"');
@@ -64,5 +121,45 @@ mod tests {
         let mut s = String::new();
         push_str(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn chrome_trace_merges_ranks_into_tracks() {
+        use crate::trace::{TraceEvent, TraceKind};
+        let mk = |rank: usize, dropped: u64, events: Vec<TraceEvent>| TraceBuffer {
+            rank,
+            capacity: 8,
+            dropped,
+            events,
+        };
+        let slice = |name: &str, t0: u64, dur: u64| TraceEvent {
+            name: name.to_string(),
+            kind: TraceKind::Slice,
+            t0_ns: t0,
+            dur_ns: dur,
+            arg: None,
+        };
+        let mark = TraceEvent {
+            name: "imbalance".to_string(),
+            kind: TraceKind::Mark,
+            t0_ns: 2500,
+            dur_ns: 0,
+            arg: Some(1.5),
+        };
+        let j = chrome_trace(&[
+            mk(0, 0, vec![slice("step", 1000, 3000)]),
+            mk(1, 2, vec![slice("step/exchange/wait", 1500, 500), mark]),
+        ]);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // Per-rank tracks with metadata names.
+        assert!(j.contains("\"name\":\"rank 0\""));
+        assert!(j.contains("rank 1 (ring wrapped, 2 dropped)"));
+        // Slices carry microsecond ts/dur on the right track.
+        assert!(j.contains("\"tid\":0,\"ts\":1.0,\"ph\":\"X\",\"dur\":3.0"));
+        assert!(j.contains("\"name\":\"step/exchange/wait\""));
+        // Marks become instant events with their value attached.
+        assert!(j.contains("\"ph\":\"i\",\"s\":\"t\",\"args\":{\"value\":1.5}"));
     }
 }

@@ -41,10 +41,14 @@ pub mod hist;
 pub mod json;
 pub mod observe;
 pub mod reduce;
+pub mod trace;
 
 pub use hist::Histogram;
 pub use observe::{ProgressEvents, StepObserver};
-pub use reduce::{reduce_across_ranks, Reduced};
+pub use reduce::{reduce_across_ranks, try_reduce_across_ranks, ReduceError, Reduced};
+pub use trace::{TraceBuffer, TraceEvent, TraceKind};
+
+use trace::{RawEvent, TraceRing};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -99,6 +103,8 @@ struct Inner {
     gauges: BTreeMap<String, f64>,
     hists: BTreeMap<String, Histogram>,
     events: Vec<String>,
+    /// Flight recorder, present only after [`Registry::enable_trace`].
+    ring: Option<TraceRing>,
 }
 
 impl Inner {
@@ -136,7 +142,15 @@ pub struct Registry {
 impl Registry {
     /// An enabled registry for `rank`.
     pub fn new(rank: usize) -> Registry {
-        Registry { enabled: true, rank, epoch: Instant::now(), inner: RefCell::default() }
+        Registry::with_epoch(rank, Instant::now())
+    }
+
+    /// An enabled registry whose timestamps (events, trace slices) are
+    /// relative to a caller-supplied epoch. SPMD drivers pass one shared
+    /// epoch to every rank so the per-rank flight recorders merge onto a
+    /// single timeline.
+    pub fn with_epoch(rank: usize, epoch: Instant) -> Registry {
+        Registry { enabled: true, rank, epoch, inner: RefCell::default() }
     }
 
     /// A disabled registry: every operation is a checked no-op (one branch).
@@ -150,6 +164,16 @@ impl Registry {
 
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// The instant all relative timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Nanoseconds from the registry epoch to `t` (saturating at zero).
+    pub fn since_epoch_ns(&self, t: Instant) -> u64 {
+        TraceRing::offset_ns(self.epoch, t)
     }
 
     // ---- spans ----
@@ -192,6 +216,47 @@ impl Registry {
         s.child_ns += frame.child_ns;
         if let Some(parent) = g.stack.last_mut() {
             parent.child_ns += elapsed;
+        }
+        if g.ring.is_some() {
+            let t0_ns = TraceRing::offset_ns(self.epoch, frame.start);
+            if let Some(ring) = g.ring.as_mut() {
+                ring.push(RawEvent {
+                    name: frame.id,
+                    kind: TraceKind::Slice,
+                    t0_ns,
+                    dur_ns: elapsed,
+                    arg: f64::NAN,
+                });
+            }
+        }
+    }
+
+    /// Record an externally timed interval into span `id`: the duration adds
+    /// to the span's statistics (and to the currently open span's child-time
+    /// account, exactly as a nested enter/exit pair would), and a slice is
+    /// pushed to the flight recorder when tracing is on. Used by the
+    /// distributed exchange to attribute `wait` vs `copy` sub-intervals it
+    /// measured itself; `t0_ns` is nanoseconds from the registry epoch (see
+    /// [`Registry::since_epoch_ns`]).
+    pub fn record_span(&self, id: SpanId, t0_ns: u64, dur_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut g = self.inner.borrow_mut();
+        let s = &mut g.spans[id.0 as usize];
+        s.count += 1;
+        s.total_ns += dur_ns;
+        if let Some(parent) = g.stack.last_mut() {
+            parent.child_ns += dur_ns;
+        }
+        if let Some(ring) = g.ring.as_mut() {
+            ring.push(RawEvent {
+                name: id.0,
+                kind: TraceKind::Slice,
+                t0_ns,
+                dur_ns,
+                arg: f64::NAN,
+            });
         }
     }
 
@@ -311,11 +376,77 @@ impl Registry {
         self.inner.borrow().events.len()
     }
 
+    // ---- flight recorder ----
+
+    /// Attach a fixed-capacity flight recorder: from now on every span exit
+    /// (and [`Registry::record_span`] / [`Registry::trace_mark`]) also pushes
+    /// a timestamped event into a preallocated ring that overwrites its
+    /// oldest entry once full. No-op on a disabled registry; calling again
+    /// replaces the ring.
+    pub fn enable_trace(&self, capacity: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.borrow_mut().ring = Some(TraceRing::with_capacity(capacity));
+    }
+
+    /// Whether a flight recorder is attached (and the registry is enabled).
+    pub fn trace_is_enabled(&self) -> bool {
+        self.enabled && self.inner.borrow().ring.is_some()
+    }
+
+    /// Push an instantaneous mark (timestamped "now") with a payload value
+    /// into the flight recorder. The name is a span-table id so marks share
+    /// the span interner; a mark never touches the span statistics.
+    pub fn trace_mark(&self, id: SpanId, arg: f64) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        let mut g = self.inner.borrow_mut();
+        if g.ring.is_none() {
+            return;
+        }
+        let t0_ns = TraceRing::offset_ns(self.epoch, now);
+        if let Some(ring) = g.ring.as_mut() {
+            ring.push(RawEvent { name: id.0, kind: TraceKind::Mark, t0_ns, dur_ns: 0, arg });
+        }
+    }
+
+    /// Resolve the flight recorder into name-bearing events (oldest →
+    /// newest). Empty buffer if tracing was never enabled.
+    pub fn trace_buffer(&self) -> TraceBuffer {
+        let g = self.inner.borrow();
+        let Some(ring) = g.ring.as_ref() else {
+            return TraceBuffer { rank: self.rank, ..TraceBuffer::default() };
+        };
+        let events = ring
+            .iter_ordered()
+            .map(|ev| TraceEvent {
+                name: g.span_names.get(ev.name as usize).cloned().unwrap_or_default(),
+                kind: ev.kind,
+                t0_ns: ev.t0_ns,
+                dur_ns: ev.dur_ns,
+                arg: if ev.arg.is_nan() { None } else { Some(ev.arg) },
+            })
+            .collect();
+        TraceBuffer { rank: self.rank, capacity: ring.capacity(), dropped: ring.dropped(), events }
+    }
+
     /// Fold every metric of `other` into this registry: span statistics and
     /// counters add, gauges take `other`'s value, histograms merge bucket-wise,
     /// events append in order. Used to merge a sub-component's registry (e.g.
     /// a solver workspace's) into a run-level one. No-op when either side is
     /// disabled; `other` must have no open spans.
+    ///
+    /// Name sets need not match: the result is the *union* — a metric known
+    /// to only one side keeps its value, nothing is dropped. (Cross-rank
+    /// reduction is stricter: [`reduce::try_reduce_across_ranks`] requires
+    /// identical name sets and returns a typed error otherwise, because a
+    /// positional element-wise reduction over diverging sets would silently
+    /// pair unrelated metrics.) The flight recorder is per-rank state and is
+    /// deliberately not merged here; export it via [`Registry::trace_buffer`]
+    /// and merge buffers in [`json::chrome_trace`].
     pub fn absorb(&self, other: &Registry) {
         if !self.enabled || !other.enabled || std::ptr::eq(self, other) {
             return;
@@ -363,6 +494,9 @@ impl Registry {
         g.gauges.clear();
         g.hists.clear();
         g.events.clear();
+        if let Some(ring) = g.ring.as_mut() {
+            ring.clear();
+        }
     }
 
     /// Flat, name-sorted numeric snapshot of every metric — the unit of
@@ -714,5 +848,116 @@ mod tests {
         a.absorb(&Registry::disabled());
         Registry::disabled().absorb(&a);
         assert_eq!(a.counter("n"), Some(20));
+    }
+
+    #[test]
+    fn absorb_of_partially_overlapping_registries_is_a_union() {
+        // Regression shape for the reduce-mismatch fix: merging registries
+        // whose histogram/span/counter name sets only partially overlap must
+        // keep everything (union), never silently drop the non-shared names.
+        let a = Registry::new(0);
+        let b = Registry::new(0);
+        a.observe("shared_hist", 1.0);
+        b.observe("shared_hist", 3.0);
+        a.observe("only_a_hist", 10.0);
+        b.observe("only_b_hist", 20.0);
+        a.add("only_a_ctr", 1);
+        b.add("only_b_ctr", 2);
+        a.absorb(&b);
+        assert_eq!(a.histogram("shared_hist").unwrap().count(), 2);
+        assert_eq!(a.histogram("only_a_hist").unwrap().count(), 1);
+        assert_eq!(a.histogram("only_b_hist").unwrap().count(), 1);
+        assert_eq!(a.counter("only_a_ctr"), Some(1));
+        assert_eq!(a.counter("only_b_ctr"), Some(2));
+        // The union is visible in the snapshot (what reduction would see).
+        let snap = a.snapshot();
+        assert!(snap.get("hist.only_a_hist.count").is_some());
+        assert!(snap.get("hist.only_b_hist.count").is_some());
+    }
+
+    #[test]
+    fn span_exits_feed_the_flight_recorder() {
+        let reg = Registry::new(1);
+        reg.enable_trace(16);
+        assert!(reg.trace_is_enabled());
+        for _ in 0..3 {
+            let _outer = reg.span("step");
+            let _inner = reg.span("step/fill");
+        }
+        let buf = reg.trace_buffer();
+        assert_eq!(buf.rank, 1);
+        assert_eq!(buf.capacity, 16);
+        assert_eq!(buf.dropped, 0);
+        // Children exit before parents: fill, step, fill, step, ...
+        let names: Vec<&str> = buf.events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["step/fill", "step", "step/fill", "step", "step/fill", "step"]);
+        assert!(buf.events.iter().all(|e| e.kind == TraceKind::Slice));
+        // Timestamps are monotone in exit order for nested spans on one rank.
+        assert!(buf.events.windows(2).all(|w| w[0].t0_ns <= w[1].t0_ns + w[1].dur_ns));
+        // A child slice lies inside its parent slice.
+        let (fill, step) = (&buf.events[0], &buf.events[1]);
+        assert!(fill.t0_ns >= step.t0_ns);
+        assert!(fill.t0_ns + fill.dur_ns <= step.t0_ns + step.dur_ns);
+    }
+
+    #[test]
+    fn record_span_attributes_like_a_nested_span() {
+        let reg = Registry::new(0);
+        reg.enable_trace(8);
+        let outer = reg.span_id("exchange");
+        let wait = reg.span_id("exchange/wait");
+        reg.enter(outer);
+        reg.record_span(wait, 5, 1000);
+        reg.exit(outer);
+        let w = reg.span_stats("exchange/wait").unwrap();
+        assert_eq!((w.count, w.total_ns), (1, 1000));
+        // The recorded interval lands in the open parent's child account.
+        let o = reg.span_stats("exchange").unwrap();
+        assert_eq!(o.child_ns, 1000);
+        let buf = reg.trace_buffer();
+        assert_eq!(buf.events[0].name, "exchange/wait");
+        assert_eq!((buf.events[0].t0_ns, buf.events[0].dur_ns), (5, 1000));
+    }
+
+    #[test]
+    fn trace_marks_and_reset() {
+        let reg = Registry::new(0);
+        reg.enable_trace(4);
+        let id = reg.span_id("imbalance");
+        reg.trace_mark(id, 1.25);
+        let buf = reg.trace_buffer();
+        assert_eq!(buf.events.len(), 1);
+        assert_eq!(buf.events[0].kind, TraceKind::Mark);
+        assert_eq!(buf.events[0].arg, Some(1.25));
+        reg.reset();
+        assert!(reg.trace_buffer().events.is_empty());
+        assert!(reg.trace_is_enabled(), "reset keeps the ring attached");
+        // Disabled registries and ring-less registries ignore trace calls.
+        let off = Registry::disabled();
+        off.enable_trace(4);
+        assert!(!off.trace_is_enabled());
+        assert!(off.trace_buffer().events.is_empty());
+        let no_ring = Registry::new(0);
+        no_ring.trace_mark(no_ring.span_id("x"), 0.0);
+        assert!(no_ring.trace_buffer().events.is_empty());
+    }
+
+    #[test]
+    fn shared_epoch_aligns_ranks() {
+        let epoch = Instant::now();
+        let r0 = Registry::with_epoch(0, epoch);
+        let r1 = Registry::with_epoch(1, epoch);
+        r0.enable_trace(4);
+        r1.enable_trace(4);
+        {
+            let _a = r0.span("a");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _b = r1.span("b");
+        }
+        let (b0, b1) = (r0.trace_buffer(), r1.trace_buffer());
+        // Rank 1's slice started after rank 0's on the shared timebase.
+        assert!(b1.events[0].t0_ns > b0.events[0].t0_ns);
     }
 }

@@ -6,8 +6,11 @@
 //! every rank calls it with its own [`crate::Snapshot`], every rank returns
 //! the same reduced view. Metric name sets must agree across ranks (they do
 //! in an SPMD code by construction — the same instrumented code runs
-//! everywhere); a fingerprint check turns a divergence into a loud panic
-//! instead of a silently misaligned reduction.
+//! everywhere); a fingerprint check turns a divergence into a typed
+//! [`ReduceError`] ([`try_reduce_across_ranks`]) or a loud panic
+//! ([`reduce_across_ranks`]) instead of a silently misaligned reduction.
+//! Ranks holding rank-local names (per-color spans, say) must
+//! [`Snapshot::retain`] down to the common subset first.
 
 use crate::Snapshot;
 use quake_parcomm::Communicator;
@@ -20,6 +23,33 @@ pub struct Reduced {
     pub max: f64,
     pub mean: f64,
 }
+
+/// Why a cross-rank reduction refused to run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReduceError {
+    /// The metric name sets (or their order) differ between ranks: an
+    /// element-wise reduction would pair unrelated metrics. Every rank
+    /// observes the same error — the check itself is a collective.
+    NameSetMismatch {
+        /// This rank's snapshot fingerprint (two 32-bit FNV-1a halves).
+        local: (u32, u32),
+    },
+}
+
+impl std::fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceError::NameSetMismatch { local } => write!(
+                f,
+                "metric name sets differ across ranks (local fingerprint {:08x}{:08x}); \
+                 retain() rank-local names before reducing",
+                local.0, local.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
 
 /// FNV-1a over the metric names — the cross-rank consistency fingerprint,
 /// split into two exactly-representable 32-bit halves.
@@ -38,19 +68,21 @@ fn name_fingerprint(snap: &Snapshot) -> (f64, f64) {
 
 /// Reduce a per-rank snapshot to min/max/mean per metric. Collective: every
 /// rank must call with a snapshot holding the *same metric names* in the
-/// same (sorted) order; all ranks receive the full reduced list.
-pub fn reduce_across_ranks(comm: &Communicator, snap: &Snapshot) -> Vec<Reduced> {
+/// same (sorted) order; all ranks receive the full reduced list, or all
+/// ranks receive [`ReduceError::NameSetMismatch`].
+pub fn try_reduce_across_ranks(
+    comm: &Communicator,
+    snap: &Snapshot,
+) -> Result<Vec<Reduced>, ReduceError> {
     let (hi, lo) = name_fingerprint(snap);
-    assert_eq!(
-        comm.allreduce_max(hi),
-        -comm.allreduce_max(-hi),
-        "metric name sets differ across ranks"
-    );
-    assert_eq!(
-        comm.allreduce_max(lo),
-        -comm.allreduce_max(-lo),
-        "metric name sets differ across ranks"
-    );
+    let agree = |half: f64| comm.allreduce_max(half) == -comm.allreduce_max(-half);
+    // Both halves must be allreduced on every rank (the check is itself a
+    // collective), so evaluate eagerly before combining.
+    let hi_ok = agree(hi);
+    let lo_ok = agree(lo);
+    if !hi_ok || !lo_ok {
+        return Err(ReduceError::NameSetMismatch { local: (hi as u32, lo as u32) });
+    }
 
     let vals: Vec<f64> = snap.entries.iter().map(|(_, v)| *v).collect();
     let mut sum = vals.clone();
@@ -61,7 +93,8 @@ pub fn reduce_across_ranks(comm: &Communicator, snap: &Snapshot) -> Vec<Reduced>
     comm.allreduce_min_elems(&mut min);
 
     let p = comm.size() as f64;
-    snap.entries
+    Ok(snap
+        .entries
         .iter()
         .enumerate()
         .map(|(i, (name, _))| Reduced {
@@ -70,7 +103,17 @@ pub fn reduce_across_ranks(comm: &Communicator, snap: &Snapshot) -> Vec<Reduced>
             max: max[i],
             mean: sum[i] / p,
         })
-        .collect()
+        .collect())
+}
+
+/// Panicking wrapper around [`try_reduce_across_ranks`] for drivers where a
+/// name-set divergence is a programming error (the SPMD solver paths, which
+/// instrument identically on every rank).
+pub fn reduce_across_ranks(comm: &Communicator, snap: &Snapshot) -> Vec<Reduced> {
+    match try_reduce_across_ranks(comm, snap) {
+        Ok(reduced) => reduced,
+        Err(e) => panic!("metric name sets differ across ranks: {e}"),
+    }
 }
 
 /// Render a reduced metric list as NDJSON lines (one per metric).
@@ -145,6 +188,36 @@ mod tests {
             }
             reduce_across_ranks(comm, &reg.snapshot())
         });
+    }
+
+    #[test]
+    fn partially_overlapping_registries_yield_typed_error_on_every_rank() {
+        // Shared names plus one rank-local histogram each: the fingerprints
+        // diverge, and *every* rank gets the typed error (the check is a
+        // collective, so no rank is left hanging in a half-finished
+        // reduction). After retain()-ing to the shared subset the same
+        // snapshots reduce fine.
+        let outcomes = run_spmd(3, |comm| {
+            let reg = Registry::new(comm.rank());
+            reg.add("shared_ctr", 1 + comm.rank() as u64);
+            reg.observe(&format!("hist_rank{}", comm.rank()), 1.0);
+            let full = reg.snapshot();
+            let err = try_reduce_across_ranks(comm, &full).unwrap_err();
+            let mut common = full.clone();
+            common.retain(|n| !n.starts_with("hist."));
+            let ok = try_reduce_across_ranks(comm, &common).unwrap();
+            (err, ok)
+        });
+        for (err, ok) in &outcomes {
+            assert!(matches!(err, ReduceError::NameSetMismatch { .. }));
+            assert!(err.to_string().contains("retain()"));
+            let c = ok.iter().find(|r| r.name == "ctr.shared_ctr").unwrap();
+            assert_eq!((c.min, c.max, c.mean), (1.0, 3.0, 2.0));
+        }
+        // Fingerprints differ because the name sets do.
+        let (e0, _) = &outcomes[0];
+        let (e1, _) = &outcomes[1];
+        assert_ne!(e0, e1);
     }
 
     #[test]
