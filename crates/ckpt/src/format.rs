@@ -124,21 +124,24 @@ impl Encoder {
     }
 }
 
-/// Cursor-based decoder mirroring [`Encoder`]. Every take checks bounds and
-/// returns [`CkptError::Truncated`] past the end — a short payload is a
-/// decode error, never a panic.
-/// Infallible fixed-width copies for slices whose length the callers below
-/// have already established via `take(4)`/`take(8)`/`chunks_exact(8)` —
-/// the reader path must stay panic-free on arbitrary on-disk bytes, so no
+/// Infallible fixed-width copy for slices whose length the caller has
+/// already established (via `take(4)` or `chunks_exact(4)`) — reader paths
+/// must stay panic-free on arbitrary on-disk bytes, so no
 /// `try_into().unwrap()` (enforced by quake-lint's no-panic-in-comm rule).
-fn arr4(b: &[u8]) -> [u8; 4] {
+/// Public so other length-prefixed stores (the `quake-serve` result cache)
+/// share the one panic-free idiom instead of copying it.
+pub fn arr4(b: &[u8]) -> [u8; 4] {
     [b[0], b[1], b[2], b[3]]
 }
 
-fn arr8(b: &[u8]) -> [u8; 8] {
+/// [`arr4`] for 8-byte fields (`u64`/`f64` little-endian payloads).
+pub fn arr8(b: &[u8]) -> [u8; 8] {
     [b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]
 }
 
+/// Cursor-based decoder mirroring [`Encoder`]. Every take checks bounds and
+/// returns [`CkptError::Truncated`] past the end — a short payload is a
+/// decode error, never a panic.
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,

@@ -28,7 +28,7 @@ pub mod format;
 pub mod sink;
 pub mod store;
 
-pub use format::{Decoder, Encoder, FORMAT_VERSION};
+pub use format::{crc32, decode_file, encode_file, Decoder, Encoder, FORMAT_VERSION};
 pub use sink::{PeriodicSink, StepSink};
 pub use store::{CheckpointReader, CheckpointWriter};
 

@@ -19,6 +19,7 @@ pub const ALLOWED: &[(&str, &[&str])] = &[
     ("crates/solver/src/distributed.rs", &["run_distributed", "run_distributed_recoverable"]),
     ("crates/solver/src/tet.rs", &["run_to_state"]),
     ("crates/core/src/forward.rs", &["run_forward"]),
+    ("crates/serve/src/exec.rs", &["run_scenario"]),
 ];
 
 #[derive(Default)]

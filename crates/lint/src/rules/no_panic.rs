@@ -8,7 +8,9 @@
 //! - `crates/solver/src/distributed.rs` (the SPMD driver + supervisor),
 //! - `crates/ckpt/src/**` (the checkpoint reader path must degrade to
 //!   `CkptError`, never abort — the writer lives in the same files),
-//! - `crates/inverse/src/checkpoint.rs` (resumable-inversion state I/O).
+//! - `crates/inverse/src/checkpoint.rs` (resumable-inversion state I/O),
+//! - `crates/serve/src/cache.rs` (the result-cache reader must treat any
+//!   on-disk corruption as a miss and recompute, never abort a worker).
 //!
 //! `assert!`/`debug_assert!` on *caller contracts* (e.g. rank bounds) stay
 //! allowed: they document programmer error, not runtime failure. Test code
@@ -24,6 +26,7 @@ const SCOPE: &[&str] = &[
     "crates/solver/src/distributed.rs",
     "crates/ckpt/src/",
     "crates/inverse/src/checkpoint.rs",
+    "crates/serve/src/cache.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -57,6 +57,7 @@ fn hot_path_regions_exist_where_the_guarantees_live() {
         "crates/solver/src/abc.rs",
         "crates/mesh/src/hexmesh.rs",
         "crates/fem/src/hex8.rs",
+        "crates/serve/src/exec.rs",
     ] {
         let f = files.iter().find(|f| f.path == expected);
         assert!(f.is_some_and(|f| f.has_hot_region()), "{expected} lost its lint:hot-path region");

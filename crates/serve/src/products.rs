@@ -1,0 +1,118 @@
+//! Ensemble batch products: peak-ground-velocity hazard maps.
+//!
+//! The serving engine's first-class aggregate output: for an ensemble of N
+//! source scenarios sharing one receiver layout, the hazard map holds the
+//! maximum peak ground velocity each station sees across the ensemble —
+//! the quantity hazard assessments contour (a deterministic-scenario
+//! analogue of a shaking-hazard map over the basin's station set).
+
+use quake_solver::Seismogram;
+
+/// Peak ground velocity of one trace: the maximum over time of the
+/// Euclidean norm of the velocity vector (all components differenced
+/// together, not per-component peaks — the vector peak is what a station
+/// instrument reports).
+pub fn trace_pgv(tr: &Seismogram) -> f64 {
+    let n = tr.n_samples();
+    if n == 0 {
+        return 0.0;
+    }
+    let vels: Vec<Vec<f64>> = (0..tr.ncomp).map(|c| tr.velocity(c)).collect();
+    let mut peak = 0.0f64;
+    for k in 0..n {
+        let mag2: f64 = vels.iter().map(|v| v[k] * v[k]).sum();
+        peak = peak.max(mag2);
+    }
+    peak.sqrt()
+}
+
+/// Per-receiver PGV of a full seismogram set (one value per trace).
+pub fn pgv_of(traces: &[Seismogram]) -> Vec<f64> {
+    traces.iter().map(trace_pgv).collect()
+}
+
+/// A peak-ground-velocity hazard map over a fixed receiver layout, reduced
+/// (elementwise max) over the members of a scenario ensemble.
+#[derive(Clone, Debug)]
+pub struct HazardMap {
+    /// The shared receiver layout (one station per entry).
+    pub receivers: Vec<[f64; 3]>,
+    /// Max PGV (m/s) seen at each station across the absorbed members.
+    pub pgv: Vec<f64>,
+    /// How many ensemble members have been absorbed.
+    pub members: usize,
+}
+
+impl HazardMap {
+    /// An empty map (all-zero PGV) over `receivers`.
+    pub fn new(receivers: Vec<[f64; 3]>) -> HazardMap {
+        let n = receivers.len();
+        HazardMap { receivers, pgv: vec![0.0; n], members: 0 }
+    }
+
+    /// Max-reduce one member's per-receiver PGV into the map.
+    pub fn absorb(&mut self, member_pgv: &[f64]) {
+        assert_eq!(
+            member_pgv.len(),
+            self.pgv.len(),
+            "ensemble member has a different receiver layout"
+        );
+        for (h, &p) in self.pgv.iter_mut().zip(member_pgv) {
+            *h = h.max(p);
+        }
+        self.members += 1;
+    }
+
+    /// The largest station PGV on the map (0.0 while empty).
+    pub fn max_pgv(&self) -> f64 {
+        self.pgv.iter().fold(0.0f64, |m, &v| m.max(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace(scale: f64) -> Seismogram {
+        // u(t) = scale * t on component 0 -> velocity = scale everywhere.
+        let mut tr = Seismogram::new(0.5, 3);
+        for k in 0..8 {
+            tr.push(&[scale * 0.5 * k as f64, 0.0, 0.0]);
+        }
+        tr
+    }
+
+    #[test]
+    fn pgv_of_a_linear_ramp_is_its_slope() {
+        let tr = ramp_trace(2.0);
+        assert!((trace_pgv(&tr) - 2.0).abs() < 1e-12);
+        assert_eq!(trace_pgv(&Seismogram::new(0.1, 3)), 0.0);
+    }
+
+    #[test]
+    fn pgv_takes_the_vector_norm_not_component_peaks() {
+        let mut tr = Seismogram::new(1.0, 2);
+        // Both components ramp with slope 3 and 4 -> vector velocity 5.
+        for k in 0..6 {
+            tr.push(&[3.0 * k as f64, 4.0 * k as f64]);
+        }
+        assert!((trace_pgv(&tr) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hazard_map_max_reduces_members() {
+        let mut map = HazardMap::new(vec![[0.0; 3], [1.0; 3], [2.0; 3]]);
+        map.absorb(&[1.0, 5.0, 2.0]);
+        map.absorb(&[3.0, 4.0, 2.5]);
+        assert_eq!(map.members, 2);
+        assert_eq!(map.pgv, vec![3.0, 5.0, 2.5]);
+        assert_eq!(map.max_pgv(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different receiver layout")]
+    fn mismatched_member_layout_is_refused() {
+        let mut map = HazardMap::new(vec![[0.0; 3]]);
+        map.absorb(&[1.0, 2.0]);
+    }
+}

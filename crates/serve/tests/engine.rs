@@ -1,0 +1,255 @@
+//! Engine semantics under load: lanes, admission control, hazard-map
+//! ensembles, and the drain/shutdown exactly-once guarantee.
+
+use quake_mesh::MeshingParams;
+use quake_model::{ExtendedFault, LaBasinModel, PointSource};
+use quake_serve::{EngineConfig, HazardMap, Lane, ScenarioRequest, ServeEngine, ServeError};
+use quake_solver::ElasticConfig;
+use std::path::PathBuf;
+
+const EXTENT: f64 = 8_000.0;
+
+fn small_config() -> EngineConfig {
+    let mut meshing = MeshingParams::new(EXTENT, 0.4);
+    meshing.min_level = 2;
+    meshing.max_level = 4;
+    EngineConfig::new(meshing, ElasticConfig::new(1.0))
+}
+
+fn model() -> LaBasinModel {
+    LaBasinModel::scaled(400.0, EXTENT)
+}
+
+fn sources(n_strike: usize) -> Vec<PointSource> {
+    ExtendedFault::northridge_like(EXTENT).discretize(n_strike, 2)
+}
+
+fn receivers() -> Vec<[f64; 3]> {
+    vec![[2_000.0, 3_000.0, 0.0], [4_000.0, 4_500.0, 0.0], [6_000.0, 6_000.0, 0.0]]
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("quake-serve-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn drain_completes_every_accepted_request_exactly_once() {
+    // Kill-during-serve: flood the queue, immediately drain, and require
+    // every ticket to resolve exactly once with a well-formed result.
+    let mut cfg = small_config();
+    cfg.workers = 3;
+    let engine = ServeEngine::start(&model(), cfg).unwrap();
+    let n = 12;
+    let tickets: Vec<_> = (0..n)
+        .map(|i| {
+            // Distinct scenarios (shifted slip delay) so nothing coalesces.
+            let mut s = sources(2);
+            for src in &mut s {
+                src.slip.delay += i as f64 * 1e-3;
+            }
+            engine
+                .submit(ScenarioRequest::new(s, receivers()).with_steps(4))
+                .expect("capacity is ample")
+        })
+        .collect();
+
+    // Drain races the workers mid-serve.
+    engine.drain();
+    let stats = engine.stats();
+    assert_eq!(stats.queued, 0, "drain left requests queued");
+    assert_eq!(stats.in_flight, 0, "drain left requests in flight");
+    assert_eq!(stats.served, n as u64, "accepted != served: lost or duplicated work");
+    assert_eq!(stats.outstanding_cost, 0, "cost ledger did not return to zero");
+
+    // Post-drain submits are refused, not dropped.
+    assert!(matches!(
+        engine.submit(ScenarioRequest::new(sources(2), receivers())),
+        Err(ServeError::Stopped)
+    ));
+
+    // Every ticket resolves with a real result (channels enforce at most
+    // one reply; served == n enforces at least one execution each).
+    for t in tickets {
+        let resp = t.wait().expect("accepted request lost during drain");
+        assert_eq!(resp.result.executed_steps, 4);
+        assert_eq!(resp.result.traces.len(), 3);
+        assert!(resp.result.traces.iter().all(|tr| tr.n_samples() == 4));
+    }
+
+    let reg = engine.shutdown();
+    assert_eq!(reg.counter("serve/cache_miss"), Some(n as u64));
+}
+
+#[test]
+fn interactive_lane_overtakes_batch_backlog() {
+    // One worker, a batch backlog, then an interactive arrival: with FIFO
+    // it would finish last; the lane must put it ahead of every queued
+    // batch job. The worker may already hold one batch job when the
+    // interactive request lands, so "ahead" means: at least one queued
+    // batch job finishes after it.
+    let mut cfg = small_config();
+    cfg.workers = 1;
+    let engine = ServeEngine::start(&model(), cfg).unwrap();
+    let mk = |i: usize, lane: Lane| {
+        let mut s = sources(2);
+        for src in &mut s {
+            src.slip.delay += i as f64 * 1e-3;
+        }
+        let r = ScenarioRequest::new(s, receivers()).with_steps(30);
+        match lane {
+            Lane::Interactive => r.interactive(),
+            Lane::Batch => r,
+        }
+    };
+    let batch: Vec<_> = (0..4).map(|i| engine.submit(mk(i, Lane::Batch)).unwrap()).collect();
+    let urgent = engine.submit(mk(99, Lane::Interactive)).unwrap();
+
+    let done = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    std::thread::scope(|scope| {
+        let d = std::sync::Arc::clone(&done);
+        scope.spawn(move || {
+            urgent.wait().unwrap();
+            d.lock().unwrap().push("interactive");
+        });
+        for t in batch {
+            let d = std::sync::Arc::clone(&done);
+            scope.spawn(move || {
+                t.wait().unwrap();
+                d.lock().unwrap().push("batch");
+            });
+        }
+    });
+    let order = done.lock().unwrap().clone();
+    let pos = order.iter().position(|&s| s == "interactive").unwrap();
+    assert!(
+        pos < order.len() - 1,
+        "interactive request finished last — the priority lane did nothing: {order:?}"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn admission_rejects_on_queue_and_cost_limits() {
+    let mut cfg = small_config();
+    cfg.workers = 1;
+    cfg.queue_capacity = 2;
+    let engine = ServeEngine::start(&model(), cfg).unwrap();
+    let v_elems = engine.variants()[0].n_elements;
+
+    // Unknown material perturbation is refused outright.
+    assert!(matches!(
+        engine.submit(ScenarioRequest::new(sources(2), receivers()).with_model_scale(1.3)),
+        Err(ServeError::UnknownModelScale(_))
+    ));
+
+    // Fill: one in flight + two queued, then the queue cap bites.
+    let mut held = Vec::new();
+    let mut rejected_queue = false;
+    for i in 0..8 {
+        let mut s = sources(2);
+        for src in &mut s {
+            src.slip.delay += i as f64 * 1e-3;
+        }
+        match engine.submit(ScenarioRequest::new(s, receivers()).with_steps(40)) {
+            Ok(t) => held.push(t),
+            Err(ServeError::QueueFull) => {
+                rejected_queue = true;
+                break;
+            }
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    }
+    assert!(rejected_queue, "queue capacity 2 never produced QueueFull");
+    for t in held {
+        t.wait().unwrap();
+    }
+    engine.shutdown();
+
+    // Cost budget: admit one 10-step run, refuse the second while the
+    // first is outstanding.
+    let mut cfg = small_config();
+    cfg.workers = 1;
+    cfg.cost_budget = v_elems * 15;
+    let engine = ServeEngine::start(&model(), cfg).unwrap();
+    let first = engine.submit(ScenarioRequest::new(sources(2), receivers()).with_steps(10));
+    let t = match first {
+        Ok(t) => t,
+        Err(e) => panic!("first request should fit the budget: {e}"),
+    };
+    assert_eq!(t.cost(), v_elems * 10);
+    let second = engine.submit(ScenarioRequest::new(sources(3), receivers()).with_steps(10));
+    assert!(
+        matches!(second, Err(ServeError::Overloaded { .. })),
+        "second request should exceed the cost budget while the first is outstanding"
+    );
+    t.wait().unwrap();
+    // After the backlog clears, admission reopens.
+    engine.drain();
+    let reg = engine.shutdown();
+    assert!(reg.counter("serve/rejected_overloaded").unwrap() >= 1);
+}
+
+#[test]
+fn hazard_map_reduces_an_ensemble_and_perturbed_models_get_their_own_mesh() {
+    let mut cfg = small_config();
+    cfg.workers = 2;
+    cfg.model_scales = vec![1.0, 1.1];
+    let dir = tmpdir("hazard");
+    let engine = ServeEngine::start(&model(), cfg.with_cache(dir.clone(), 0)).unwrap();
+    assert_eq!(engine.variants().len(), 2);
+    let (b, p) = (&engine.variants()[0], &engine.variants()[1]);
+    assert_ne!(b.fingerprint, p.fingerprint);
+    // The perturbed material changes the CFL-limited step (same level
+    // bounds, faster velocities), so the variants are physically distinct.
+    assert_ne!(p.dt.to_bits(), b.dt.to_bits());
+
+    // Ensemble over rupture timing and material scale, one shared layout.
+    let members: Vec<ScenarioRequest> = (0..4)
+        .map(|i| {
+            let mut s = sources(2);
+            for src in &mut s {
+                src.slip.delay += i as f64 * 0.05;
+            }
+            let scale = if i % 2 == 0 { 1.0 } else { 1.1 };
+            ScenarioRequest::new(s, receivers()).with_steps(12).with_model_scale(scale)
+        })
+        .collect();
+    let (map, responses) = engine.hazard_map(members.clone()).unwrap();
+    assert_eq!(map.members, 4);
+    assert_eq!(map.receivers, receivers());
+    assert!(map.max_pgv() > 0.0, "an earthquake ensemble produced zero ground motion");
+    // The map is the elementwise max of the member PGVs.
+    for (j, &pgv) in map.pgv.iter().enumerate() {
+        let member_max = responses
+            .iter()
+            .map(|r| quake_serve::trace_pgv(&r.result.traces[j]))
+            .fold(0.0f64, f64::max);
+        assert_eq!(pgv, member_max);
+    }
+
+    // Resubmitting the ensemble is pure cache replay with an identical map.
+    let (map2, responses2) = engine.hazard_map(members).unwrap();
+    assert!(responses2.iter().all(|r| r.cache_hit));
+    assert_eq!(map2.pgv, map.pgv);
+
+    // Mismatched layouts are refused.
+    let mut bad = vec![ScenarioRequest::new(sources(2), receivers())];
+    bad.push(ScenarioRequest::new(sources(2), vec![[0.0, 0.0, 0.0]]));
+    assert!(matches!(engine.hazard_map(bad), Err(ServeError::MismatchedEnsemble)));
+
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hazard_map_standalone_reduction_matches_engine_path() {
+    // HazardMap is usable without an engine (post-hoc reduction).
+    let mut map = HazardMap::new(vec![[0.0; 3]; 2]);
+    map.absorb(&[0.5, 2.0]);
+    map.absorb(&[1.5, 1.0]);
+    assert_eq!(map.pgv, vec![1.5, 2.0]);
+}

@@ -192,6 +192,26 @@ impl<'a> RunConfig<'a> {
     }
 }
 
+/// The per-run scratch vectors of the step loop: the `u_next` target of the
+/// three-term recurrence and the assembled force vector. [`SolverHarness::run`]
+/// allocates a fresh pair per call; a caller that drives many runs back to
+/// back (the `quake-serve` worker pool) preallocates one of these and uses
+/// [`SolverHarness::run_with_scratch`] so steady-state serving performs no
+/// per-run heap allocation. Both buffers are zeroed on entry, so a reused
+/// scratch is bit-identical to a fresh one.
+pub struct RunScratch {
+    u_next: Vec<f64>,
+    f: Vec<f64>,
+}
+
+impl RunScratch {
+    /// Scratch for a solver with `ndof` planar degrees of freedom
+    /// (`3 * mesh.n_nodes()`).
+    pub fn for_ndof(ndof: usize) -> RunScratch {
+        RunScratch { u_next: vec![0.0; ndof], f: vec![0.0; ndof] }
+    }
+}
+
 /// The one canonical step loop. See the module docs for the loop structure
 /// and the hook phase map.
 pub struct SolverHarness<'s, 'm> {
@@ -214,10 +234,30 @@ impl<'s, 'm> SolverHarness<'s, 'm> {
         exchange: &mut dyn Exchange,
         hooks: &mut [&mut dyn StepHook],
     ) -> RunOutcome {
+        let mut scratch = RunScratch::for_ndof(3 * self.solver.mesh.n_nodes());
+        self.run_with_scratch(cfg, state, ws, exchange, hooks, &mut scratch)
+    }
+
+    /// [`SolverHarness::run`] with caller-owned scratch vectors, for drivers
+    /// that execute many runs against one solver (scenario serving). The
+    /// scratch is zeroed here, so the displacement history is bit-identical
+    /// to [`SolverHarness::run`] regardless of what a previous run left in
+    /// the buffers.
+    pub fn run_with_scratch(
+        &self,
+        cfg: &RunConfig<'_>,
+        state: &mut SolverState,
+        ws: &mut StepWorkspace,
+        exchange: &mut dyn Exchange,
+        hooks: &mut [&mut dyn StepHook],
+        scratch: &mut RunScratch,
+    ) -> RunOutcome {
         let solver = self.solver;
         let ndof = 3 * solver.mesh.n_nodes();
         assert_eq!(state.u_prev.len(), ndof, "state does not match this mesh");
         assert_eq!(state.u_now.len(), ndof, "state does not match this mesh");
+        assert_eq!(scratch.u_next.len(), ndof, "scratch does not match this mesh");
+        assert_eq!(scratch.f.len(), ndof, "scratch does not match this mesh");
         let scope = cfg.scope.unwrap_or_else(|| solver.full_scope());
         let info = RunInfo {
             rank: ws.reg.rank(),
@@ -225,8 +265,10 @@ impl<'s, 'm> SolverHarness<'s, 'm> {
             first_step: state.step,
             until_step: cfg.until_step,
         };
-        let mut u_next = vec![0.0; ndof];
-        let mut f = vec![0.0; ndof];
+        let u_next = &mut scratch.u_next;
+        let f = &mut scratch.f;
+        u_next.iter_mut().for_each(|v| *v = 0.0);
+        f.iter_mut().for_each(|v| *v = 0.0);
         let mut tainted = false;
 
         {
@@ -252,41 +294,33 @@ impl<'s, 'm> SolverHarness<'s, 'm> {
                 f.iter_mut().for_each(|v| *v = 0.0);
                 ws.reg.enter(ws.ids.source);
                 for s in cfg.sources {
-                    s.add_force_planar(t, &mut f);
+                    s.add_force_planar(t, f);
                 }
                 ws.reg.exit(ws.ids.source);
             }
             let mut comm_err = None;
-            solver.step_scoped(
-                scope,
-                &state.u_prev,
-                &state.u_now,
-                &f,
-                &mut u_next,
-                ws,
-                |rhs, reg| {
-                    let mut flow = ExchangeFlow::Proceed;
-                    for h in hooks.iter_mut() {
-                        if h.pre_exchange(&info, k) == ExchangeFlow::Skip {
-                            flow = ExchangeFlow::Skip;
-                        }
+            solver.step_scoped(scope, &state.u_prev, &state.u_now, f, u_next, ws, |rhs, reg| {
+                let mut flow = ExchangeFlow::Proceed;
+                for h in hooks.iter_mut() {
+                    if h.pre_exchange(&info, k) == ExchangeFlow::Skip {
+                        flow = ExchangeFlow::Skip;
                     }
-                    if flow == ExchangeFlow::Skip {
-                        tainted = true;
-                        return;
-                    }
-                    if let Err(e) = exchange.exchange(k, rhs, reg) {
-                        comm_err = Some(e);
-                    }
-                },
-            );
+                }
+                if flow == ExchangeFlow::Skip {
+                    tainted = true;
+                    return;
+                }
+                if let Err(e) = exchange.exchange(k, rhs, reg) {
+                    comm_err = Some(e);
+                }
+            });
             // A failed exchange aborts before the swaps: the state keeps
             // describing the last *completed* step.
             if let Some(e) = comm_err {
                 return RunOutcome::Stopped { step: k, reason: StopReason::Comm(e) };
             }
             std::mem::swap(&mut state.u_prev, &mut state.u_now);
-            std::mem::swap(&mut state.u_now, &mut u_next);
+            std::mem::swap(&mut state.u_now, u_next);
             state.step = k + 1;
             {
                 let mut ctx = HookCtx { info: &info, state, reg: &ws.reg, tainted };

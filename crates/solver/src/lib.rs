@@ -68,7 +68,7 @@ pub use distributed::{
 pub use elastic::{ElasticConfig, ElasticSolver, RunResult, StepScope, StepWorkspace};
 pub use harness::{
     CheckpointHook, Exchange, ExchangeFlow, FaultHook, HookCtx, NoExchange, NoopHook, ReceiverHook,
-    RunConfig, RunInfo, RunOutcome, SolverHarness, StepHook, StopReason, TelemetryHook,
+    RunConfig, RunInfo, RunOutcome, RunScratch, SolverHarness, StepHook, StopReason, TelemetryHook,
 };
 pub use health::{HealthConfig, HealthHook, HealthReport};
 pub use receivers::{lowpass_filtfilt, record_sample, record_sample_planar, Seismogram};

@@ -24,6 +24,7 @@
 //! | [`ckpt`] | `quake-ckpt` | checksummed checkpoint/restart snapshots |
 //! | [`lint`] | `quake-lint` | std-only static analysis of the workspace |
 //! | [`core`] | `quake-core` | end-to-end simulation/inversion drivers |
+//! | [`serve`] | `quake-serve` | scenario-ensemble job engine + result cache |
 //!
 //! ## Quickstart
 //!
@@ -42,5 +43,6 @@ pub use quake_mesh as mesh;
 pub use quake_model as model;
 pub use quake_octree as octree;
 pub use quake_parcomm as parcomm;
+pub use quake_serve as serve;
 pub use quake_solver as solver;
 pub use quake_telemetry as telemetry;
